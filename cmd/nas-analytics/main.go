@@ -1,0 +1,93 @@
+// Command nas-analytics inspects a saved search log: reward trajectory,
+// utilization over time, summary statistics, and the top architectures —
+// the paper's analytics module (§4) as a CLI.
+//
+// Example:
+//
+//	nas-analytics -log combo.json -bucket 300 -tsv combo-traj.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"nasgo"
+	"nasgo/internal/analytics"
+	"nasgo/internal/report"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "", "search log JSON written by nas-search (required)")
+		bucket  = flag.Float64("bucket", 300, "trajectory bucket in virtual seconds")
+		topK    = flag.Int("top", 10, "top architectures to list")
+		tsv     = flag.String("tsv", "", "write the trajectory series as TSV to this path")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		log.Fatal("nas-analytics: -log is required")
+	}
+	res, err := nasgo.LoadSearchLog(*logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := analytics.Summarize(res.Results)
+	fmt.Printf("run: %s on %s, strategy=%s, %d agents × %d workers\n",
+		res.SpaceName, res.Bench, res.Config.Strategy, res.Config.Agents, res.Config.WorkersPerAgent)
+	fmt.Printf("ended at %.0f virtual min (converged=%v)\n", res.EndTime/60, res.Converged)
+	fmt.Printf("evaluations=%d cacheHits=%d unique=%d timeouts=%d\n",
+		s.Evaluations, s.CacheHits, s.UniqueArchs, s.TimedOut)
+	fmt.Printf("best=%.4f mean=%.4f\n", s.BestReward, s.MeanReward)
+	fmt.Printf("parameter server: %d exchanges, %d sync rounds, mean staleness %.2f\n\n",
+		res.PS.Exchanges, res.PS.Rounds, res.PS.MeanStaleness)
+
+	traj := analytics.Trajectory(res.Results, *bucket, res.EndTime)
+	xs := make([]float64, len(traj))
+	best := make([]float64, len(traj))
+	mean := make([]float64, len(traj))
+	for i, p := range traj {
+		xs[i] = p.Time / 60
+		best[i] = p.Best
+		mean[i] = p.Mean
+	}
+	fmt.Print(report.Chart("reward over time", "time (min)", "reward",
+		[]report.Series{{Name: "best", X: xs, Y: best}, {Name: "mean", X: xs, Y: mean}}, 70, 14))
+
+	ux := make([]float64, len(res.Utilization))
+	for i := range ux {
+		ux[i] = float64(i) * res.UtilBucket / 60
+	}
+	fmt.Println()
+	fmt.Print(report.Chart("utilization over time", "time (min)", "busy fraction",
+		[]report.Series{{Name: "util", X: ux, Y: res.Utilization}}, 70, 10))
+
+	fmt.Printf("\ntop %d architectures:\n", *topK)
+	rows := make([][]string, 0, *topK)
+	for i, r := range res.TopK(*topK) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), report.F(r.Reward),
+			fmt.Sprintf("%d", r.Params), fmt.Sprintf("%.0f", r.FinishTime/60),
+		})
+	}
+	fmt.Print(report.Table([]string{"rank", "reward", "params(paper)", "found at min"}, rows))
+
+	if *tsv != "" {
+		rowsT := make([][]string, 0, len(traj))
+		for i := range traj {
+			m := mean[i]
+			if math.IsNaN(m) {
+				continue
+			}
+			rowsT = append(rowsT, []string{
+				fmt.Sprintf("%.1f", xs[i]), fmt.Sprintf("%.5f", best[i]), fmt.Sprintf("%.5f", m),
+			})
+		}
+		if err := report.WriteTSV(*tsv, []string{"minute", "best", "mean"}, rowsT); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrajectory written to %s\n", *tsv)
+	}
+}

@@ -1,0 +1,69 @@
+// Command nas-bench regenerates the paper's evaluation artifacts: every
+// figure (4–13) and Table 1, at a chosen scale preset.
+//
+// Examples:
+//
+//	nas-bench -exp table1 -scale quick
+//	nas-bench -exp fig9 -scale default
+//	nas-bench -exp all -scale quick -out results/
+//
+// Search runs are memoized in-process, so "-exp all" shares runs between
+// figures exactly as the paper's campaign did.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nasgo"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig4..fig13, table1) or 'all'")
+		scale = flag.String("scale", "quick", "scale preset: quick, default, or paper")
+		out   = flag.String("out", "", "also write each rendering to <out>/<exp>.txt")
+	)
+	flag.Parse()
+
+	sc, err := nasgo.ExperimentScaleByName(*scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = nasgo.ExperimentNames()
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		text, err := nasgo.RenderExperiment(id, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		banner := fmt.Sprintf("==== %s (scale=%s, %s) ", id, *scale, time.Since(start).Round(time.Second))
+		fmt.Printf("%s%s\n%s\n", banner, strings.Repeat("=", max(0, 74-len(banner))), text)
+		if *out != "" {
+			path := filepath.Join(*out, id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+// Command nas-posttrain retrains the top architectures of a saved search
+// log for the paper's 20 epochs on the full training data and compares them
+// to the manually designed baseline on the paper's three ratios (accuracy,
+// trainable parameters, training time).
+//
+// Example:
+//
+//	nas-search -bench Combo -out combo.json
+//	nas-posttrain -log combo.json -top 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nasgo"
+	"nasgo/internal/report"
+)
+
+func main() {
+	var (
+		logPath  = flag.String("log", "", "search log JSON written by nas-search (required)")
+		topK     = flag.Int("top", 20, "how many top architectures to post-train (paper: 50)")
+		epochs   = flag.Int("epochs", 20, "post-training epochs (paper: 20)")
+		seed     = flag.Uint64("seed", 42, "post-training seed")
+		saveBest = flag.String("save-best", "", "save the best post-trained model to this path")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		log.Fatal("nas-posttrain: -log is required")
+	}
+	res, err := nasgo.LoadSearchLog(*logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := nasgo.NewBenchmark(res.Bench, nasgo.BenchmarkConfig{Seed: res.Config.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := nasgo.NewSpace(res.SpaceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := nasgo.PostTrain(bench, sp, res.TopK(*topK), nasgo.PostTrainConfig{
+		Epochs: *epochs, Seed: *seed, KeepModels: *saveBest != "",
+	})
+	fmt.Printf("post-training %d architectures from %s (%s, %d epochs)\n",
+		len(rep.Entries), *logPath, bench.Name, *epochs)
+	fmt.Printf("baseline: metric=%.4f params=%d trainTime=%.2fs\n\n",
+		rep.BaselineMetric, rep.BaselineParams, rep.BaselineTime)
+
+	rep.SortByMetric()
+	rows := make([][]string, 0, len(rep.Entries))
+	for _, e := range rep.Entries {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", e.Rank), report.F(e.EstReward), report.F(e.Metric),
+			fmt.Sprintf("%d", e.Params), fmt.Sprintf("%.2f", e.TrainTime),
+			report.F(e.AccRatio), report.F(e.ParamsRatio), report.F(e.TimeRatio),
+		})
+	}
+	fmt.Print(report.Table(
+		[]string{"rank", "est", "metric", "params", "train s", "acc-ratio", "Pb/P", "Tb/T"}, rows))
+
+	if best := rep.Best(); best != nil {
+		fmt.Printf("\nbest: metric=%.4f, %.1fx fewer parameters, %.1fx faster training\n",
+			best.Metric, best.ParamsRatio, best.TimeRatio)
+		fmt.Printf("architecture: %s\n", sp.Describe(best.Choices))
+		if *saveBest != "" {
+			err := nasgo.SaveModel(*saveBest, sp, best.Choices, bench.Train.InputDims(), bench.UnitScale, best.Model)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("best model saved to %s\n", *saveBest)
+		}
+	}
+}

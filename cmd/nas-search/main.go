@@ -1,0 +1,95 @@
+// Command nas-search runs one multi-agent NAS search on a CANDLE benchmark
+// and prints its summary, reward trajectory, and top architectures. The
+// full trace can be saved as JSON for nas-analytics and nas-posttrain.
+//
+// Example:
+//
+//	nas-search -bench Combo -space small -strategy a3c \
+//	    -agents 8 -workers 5 -horizon 10800 -out combo-a3c.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"nasgo"
+	"nasgo/internal/analytics"
+	"nasgo/internal/report"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "Combo", "benchmark: Combo, Uno, or NT3")
+		spaceSize = flag.String("space", "small", "search space size: small or large")
+		strategy  = flag.String("strategy", "a3c", "search strategy: a3c, a2c, or rdm")
+		agents    = flag.Int("agents", 8, "number of RL agents (paper: 21)")
+		workers   = flag.Int("workers", 5, "architectures per agent per round (paper: 11)")
+		horizon   = flag.Float64("horizon", 3*3600, "virtual wall-clock budget in seconds (paper: 21600)")
+		fidelity  = flag.Float64("fidelity", 0, "training-data fraction for reward estimation (0 = benchmark default)")
+		seed      = flag.Uint64("seed", 42, "root seed (runs are deterministic in it)")
+		topK      = flag.Int("top", 10, "top architectures to print")
+		out       = flag.String("out", "", "write the full search log as JSON to this path")
+	)
+	flag.Parse()
+
+	bench, err := nasgo.NewBenchmark(*benchName, nasgo.BenchmarkConfig{Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := bench.Space(*spaceSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("search space %s: %d decisions, %.4g architectures\n",
+		sp.Name, sp.NumDecisions(), sp.Size())
+
+	cfg := nasgo.SearchConfig{
+		Strategy:        *strategy,
+		Agents:          *agents,
+		WorkersPerAgent: *workers,
+		Horizon:         *horizon,
+		Seed:            *seed,
+	}
+	cfg.Eval.Fidelity = *fidelity
+	res := nasgo.RunSearch(bench, sp, cfg)
+
+	s := analytics.Summarize(res.Results)
+	fmt.Printf("\n%s on %s (%d agents × %d workers, %.0f virtual min)\n",
+		strings.ToUpper(*strategy), bench.Name, *agents, *workers, res.EndTime/60)
+	fmt.Printf("evaluations=%d cacheHits=%d unique=%d timeouts=%d converged=%v\n",
+		s.Evaluations, s.CacheHits, s.UniqueArchs, s.TimedOut, res.Converged)
+	fmt.Printf("best reward (%s) = %.4f, mean = %.4f\n", bench.Metric, s.BestReward, s.MeanReward)
+
+	traj := analytics.Trajectory(res.Results, 300, res.EndTime)
+	xs := make([]float64, len(traj))
+	best := make([]float64, len(traj))
+	for i, p := range traj {
+		xs[i] = p.Time / 60
+		best[i] = p.Best
+	}
+	fmt.Println()
+	fmt.Print(report.Chart("best reward over time", "time (min)", bench.Metric,
+		[]report.Series{{Name: strings.ToUpper(*strategy), X: xs, Y: best}}, 70, 12))
+
+	fmt.Printf("\ntop %d architectures by estimated reward:\n", *topK)
+	rows := make([][]string, 0, *topK)
+	for i, r := range res.TopK(*topK) {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", i+1), report.F(r.Reward), fmt.Sprintf("%d", r.Params),
+			fmt.Sprintf("%.0f", r.Duration), fmt.Sprintf("%v", r.TimedOut),
+		})
+		if i == 0 {
+			fmt.Printf("best architecture: %s\n", sp.Describe(r.Choices))
+		}
+	}
+	fmt.Print(report.Table([]string{"rank", "reward", "params(paper)", "eval s", "timeout"}, rows))
+
+	if *out != "" {
+		if err := res.WriteJSON(*out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nfull log written to %s\n", *out)
+	}
+}

@@ -1,0 +1,56 @@
+// Hypertune: the paper's §7 "integrating hyperparameter search" future work
+// — chain a NAS run with hyperparameter tuning of its best architecture.
+//
+//	go run ./examples/hypertune
+//
+// Stage 1 searches the Combo space briefly with A3C; stage 2 takes the best
+// discovered architecture and tunes its training hyperparameters (learning
+// rate, batch size) with asynchronous successive halving, comparing against
+// plain random search at the same budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nasgo"
+	"nasgo/internal/hps"
+)
+
+func main() {
+	const seed = 29
+	bench, err := nasgo.NewBenchmark("Combo", nasgo.BenchmarkConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := bench.Space("small")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== stage 1: NAS ==")
+	res := nasgo.RunSearch(bench, sp, nasgo.SearchConfig{
+		Strategy:        nasgo.A3C,
+		Agents:          2,
+		WorkersPerAgent: 4,
+		Horizon:         40 * 60,
+		Seed:            seed,
+	})
+	best := res.TopK(1)[0]
+	fmt.Printf("best architecture (est. reward %.3f):\n  %s\n\n", best.Reward, sp.Describe(best.Choices))
+
+	ir, err := sp.Compile(best.Choices, bench.Train.InputDims(), bench.UnitScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	obj := &hps.Objective{Bench: bench, IR: ir, Seed: seed}
+	sd := hps.SpaceDef{LRMin: 1e-4, LRMax: 3e-2, BatchMin: 8, BatchMax: 64, MaxEpochs: 8}
+
+	fmt.Println("== stage 2: hyperparameter search on the best architecture ==")
+	sh := hps.SuccessiveHalving(obj, sd, 9, 3, seed)
+	fmt.Printf("successive halving: %d evaluations, best %s -> R²=%.3f\n",
+		sh.Evaluations, sh.Best.Params, sh.Best.Metric)
+	rs := hps.RandomSearch(obj, sd, 4, seed)
+	fmt.Printf("random search:      %d evaluations, best %s -> R²=%.3f\n",
+		rs.Evaluations, rs.Best.Params, rs.Best.Metric)
+}

@@ -1,0 +1,49 @@
+// Quickstart: run a small reinforcement-learning NAS on the Combo benchmark
+// and print what it found.
+//
+//	go run ./examples/quickstart
+//
+// This exercises the full stack end to end — synthetic CANDLE data, the
+// graph search space, PPO-based A3C agents, the simulated Balsam/Theta
+// execution substrate — in under a minute of real time (the search itself
+// covers 45 minutes of simulated supercomputer time).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nasgo"
+	"nasgo/internal/analytics"
+)
+
+func main() {
+	bench, err := nasgo.NewBenchmark("Combo", nasgo.BenchmarkConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := bench.Space("small")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("benchmark %s: %d training examples, inputs %v\n",
+		bench.Name, bench.Train.N(), bench.Train.InputNames)
+	fmt.Printf("search space %s: %d decisions, %.4g candidate architectures\n\n",
+		sp.Name, sp.NumDecisions(), sp.Size())
+
+	res := nasgo.RunSearch(bench, sp, nasgo.SearchConfig{
+		Strategy:        nasgo.A3C,
+		Agents:          2,
+		WorkersPerAgent: 4,
+		Horizon:         45 * 60, // 45 virtual minutes
+		Seed:            7,
+	})
+
+	s := analytics.Summarize(res.Results)
+	fmt.Printf("search finished at %.0f virtual min: %d evaluations, best %s = %.3f\n\n",
+		res.EndTime/60, s.Evaluations, bench.Metric, s.BestReward)
+	for i, r := range res.TopK(3) {
+		fmt.Printf("#%d  reward=%.3f  params(paper dims)=%d\n", i+1, r.Reward, r.Params)
+		fmt.Printf("    %s\n", sp.Describe(r.Choices))
+	}
+}

@@ -1,0 +1,3 @@
+module nasgo
+
+go 1.22

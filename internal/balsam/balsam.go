@@ -1,0 +1,208 @@
+// Package balsam simulates the Balsam workflow service the paper uses to
+// run reward-estimation tasks on Theta (§4, Fig. 3): a job database, a
+// pilot-job launcher that dispatches queued jobs onto idle worker nodes,
+// and the utilization monitoring the paper's Figures 5, 6, and 9 report.
+//
+// The real Balsam is a Django/PostgreSQL service polled by MPI ranks; here
+// the database is in memory and the launcher runs on the discrete-event
+// simulator, but the state machine (CREATED → RUNNING → JOB_FINISHED, with
+// RUN_TIMEOUT for killed tasks) and the scheduling dynamics — FIFO queue,
+// one job per node, dispatch on idle — are preserved, because those
+// dynamics are what produce the paper's utilization curves.
+package balsam
+
+import (
+	"fmt"
+
+	"nasgo/internal/hpc"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	// StateCreated means queued, waiting for a free node.
+	StateCreated JobState = "CREATED"
+	// StateRunning means executing on a worker node.
+	StateRunning JobState = "RUNNING"
+	// StateFinished means completed normally.
+	StateFinished JobState = "JOB_FINISHED"
+	// StateTimeout means the task hit its wall-clock limit and was killed
+	// after producing a partial result.
+	StateTimeout JobState = "RUN_TIMEOUT"
+)
+
+// Job is one reward-estimation task.
+type Job struct {
+	ID      int64
+	AgentID int
+	// Key identifies the architecture being evaluated.
+	Key string
+	// Duration is the task's virtual execution time in seconds.
+	Duration float64
+	// TimedOut marks a task that will end in StateTimeout.
+	TimedOut bool
+	State    JobState
+
+	SubmitTime, StartTime, EndTime float64
+
+	// Payload carries the evaluator's result through the queue; balsam
+	// treats it as opaque.
+	Payload interface{}
+	// OnDone fires when the job completes.
+	OnDone func(*Job)
+}
+
+// Service is the in-memory job database plus launcher.
+type Service struct {
+	sim    *hpc.Sim
+	nodes  int
+	busy   int
+	queue  []*Job
+	nextID int64
+
+	jobs map[int64]*Job
+
+	// Utilization accounting: integral of busy fraction over time plus a
+	// transition log for time series.
+	lastChange   float64
+	busyIntegral float64
+	transitions  []UtilizationPoint
+
+	finished int
+}
+
+// UtilizationPoint is one step of the piecewise-constant utilization curve:
+// from Time onward, Busy nodes were occupied (until the next point).
+type UtilizationPoint struct {
+	Time float64
+	Busy int
+}
+
+// NewService creates a service managing the given number of worker nodes.
+func NewService(sim *hpc.Sim, nodes int) *Service {
+	if nodes <= 0 {
+		panic("balsam: need at least one worker node")
+	}
+	s := &Service{sim: sim, nodes: nodes, jobs: map[int64]*Job{}}
+	s.transitions = append(s.transitions, UtilizationPoint{Time: 0, Busy: 0})
+	return s
+}
+
+// Nodes returns the worker-node count.
+func (s *Service) Nodes() int { return s.nodes }
+
+// Busy returns the number of nodes currently running jobs.
+func (s *Service) Busy() int { return s.busy }
+
+// QueueLen returns the number of jobs waiting for a node.
+func (s *Service) QueueLen() int { return len(s.queue) }
+
+// Finished returns the number of completed jobs.
+func (s *Service) Finished() int { return s.finished }
+
+// Submit adds a job to the database and triggers the launcher. It returns
+// the assigned job ID.
+func (s *Service) Submit(job *Job) int64 {
+	if job.Duration < 0 {
+		panic(fmt.Sprintf("balsam: negative duration %g", job.Duration))
+	}
+	s.nextID++
+	job.ID = s.nextID
+	job.State = StateCreated
+	job.SubmitTime = s.sim.Now()
+	s.jobs[job.ID] = job
+	s.queue = append(s.queue, job)
+	s.dispatch()
+	return job.ID
+}
+
+// dispatch starts queued jobs while nodes are idle (the pilot-job launcher
+// loop).
+func (s *Service) dispatch() {
+	for len(s.queue) > 0 && s.busy < s.nodes {
+		job := s.queue[0]
+		s.queue = s.queue[1:]
+		s.setBusy(s.busy + 1)
+		job.State = StateRunning
+		job.StartTime = s.sim.Now()
+		s.sim.At(job.Duration, func() { s.complete(job) })
+	}
+}
+
+func (s *Service) complete(job *Job) {
+	if job.TimedOut {
+		job.State = StateTimeout
+	} else {
+		job.State = StateFinished
+	}
+	job.EndTime = s.sim.Now()
+	s.finished++
+	s.setBusy(s.busy - 1)
+	if job.OnDone != nil {
+		job.OnDone(job)
+	}
+	s.dispatch()
+}
+
+func (s *Service) setBusy(n int) {
+	now := s.sim.Now()
+	s.busyIntegral += float64(s.busy) * (now - s.lastChange)
+	s.lastChange = now
+	s.busy = n
+	s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: n})
+}
+
+// MeanUtilization returns the time-averaged busy fraction from t=0 to now.
+func (s *Service) MeanUtilization() float64 {
+	now := s.sim.Now()
+	if now == 0 {
+		return 0
+	}
+	integral := s.busyIntegral + float64(s.busy)*(now-s.lastChange)
+	return integral / (float64(s.nodes) * now)
+}
+
+// UtilizationSeries samples the piecewise-constant utilization curve into
+// buckets of the given width (seconds), averaging within each bucket —
+// the series plotted in the paper's Figures 5, 6, and 9. The final partial
+// bucket is included.
+func (s *Service) UtilizationSeries(bucket float64) []float64 {
+	if bucket <= 0 {
+		panic("balsam: bucket must be positive")
+	}
+	now := s.sim.Now()
+	if now == 0 {
+		return nil
+	}
+	nBuckets := int(now/bucket) + 1
+	series := make([]float64, nBuckets)
+	// Integrate the step function per bucket.
+	points := append(append([]UtilizationPoint(nil), s.transitions...),
+		UtilizationPoint{Time: now, Busy: s.busy})
+	for i := 0; i+1 < len(points); i++ {
+		t0, t1 := points[i].Time, points[i+1].Time
+		busy := float64(points[i].Busy)
+		for t0 < t1 {
+			b := int(t0 / bucket)
+			end := float64(b+1) * bucket
+			if end > t1 {
+				end = t1
+			}
+			if b < nBuckets {
+				series[b] += busy * (end - t0)
+			}
+			t0 = end
+		}
+	}
+	for b := range series {
+		width := bucket
+		if float64(b+1)*bucket > now {
+			width = now - float64(b)*bucket
+		}
+		if width > 0 {
+			series[b] /= width * float64(s.nodes)
+		}
+	}
+	return series
+}

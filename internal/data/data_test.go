@@ -1,0 +1,267 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nasgo/internal/rng"
+)
+
+func TestGenComboShapes(t *testing.T) {
+	train, val := GenCombo(ComboConfig{Seed: 1})
+	if train.N() != 1600 || val.N() != 400 {
+		t.Fatalf("split sizes %d/%d", train.N(), val.N())
+	}
+	if len(train.Inputs) != 3 {
+		t.Fatalf("Combo inputs = %d, want 3", len(train.Inputs))
+	}
+	dims := train.InputDims()
+	if dims[0] != 60 || dims[1] != 120 || dims[2] != 120 {
+		t.Fatalf("Combo dims = %v", dims)
+	}
+	if train.IsClassification() {
+		t.Fatal("Combo must be regression")
+	}
+	if train.YReg.Shape[0] != train.N() || train.YReg.Shape[1] != 1 {
+		t.Fatalf("YReg shape %v", train.YReg.Shape)
+	}
+}
+
+func TestGenComboDeterministic(t *testing.T) {
+	a, _ := GenCombo(ComboConfig{Seed: 7})
+	b, _ := GenCombo(ComboConfig{Seed: 7})
+	for i := range a.YReg.Data {
+		if a.YReg.Data[i] != b.YReg.Data[i] {
+			t.Fatal("same seed produced different Combo data")
+		}
+	}
+	c, _ := GenCombo(ComboConfig{Seed: 8})
+	same := true
+	for i := range a.YReg.Data {
+		if a.YReg.Data[i] != c.YReg.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical Combo data")
+	}
+}
+
+func TestGenComboStandardized(t *testing.T) {
+	train, _ := GenCombo(ComboConfig{Seed: 2})
+	mean := train.YReg.Mean()
+	var ss float64
+	for _, v := range train.YReg.Data {
+		ss += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(ss / float64(train.YReg.Size()))
+	if math.Abs(mean) > 1e-9 || math.Abs(std-1) > 1e-9 {
+		t.Fatalf("train target not standardized: mean %g std %g", mean, std)
+	}
+}
+
+// TestComboSymmetry verifies the planted drug symmetry: swapping drug1 and
+// drug2 in the generator's response function cannot be observed through the
+// data itself (the generator is drawn fresh), so instead we check the
+// structural claim on the generating process via correlation: the target
+// correlates equally with summary statistics of drug1 and drug2.
+func TestComboSymmetry(t *testing.T) {
+	train, _ := GenCombo(ComboConfig{Seed: 3, NTrain: 4000})
+	corr := func(drugIdx int) float64 {
+		var c float64
+		n := train.N()
+		d := train.Inputs[drugIdx]
+		for i := 0; i < n; i++ {
+			row := d.Data[i*d.Shape[1] : (i+1)*d.Shape[1]]
+			var s float64
+			for _, v := range row {
+				s += v
+			}
+			c += math.Abs(train.YReg.Data[i] * s)
+		}
+		return c / float64(n)
+	}
+	c1, c2 := corr(1), corr(2)
+	if math.Abs(c1-c2)/math.Max(c1, c2) > 0.15 {
+		t.Fatalf("drug roles asymmetric: %g vs %g", c1, c2)
+	}
+}
+
+func TestGenUnoShapes(t *testing.T) {
+	train, val := GenUno(UnoConfig{Seed: 1})
+	if len(train.Inputs) != 4 {
+		t.Fatalf("Uno inputs = %d, want 4", len(train.Inputs))
+	}
+	dims := train.InputDims()
+	if dims[1] != 1 {
+		t.Fatalf("dose input width %d, want 1", dims[1])
+	}
+	if val.N() != 300 {
+		t.Fatalf("val size %d", val.N())
+	}
+	if train.InputNames[1] != "dose" {
+		t.Fatalf("input names %v", train.InputNames)
+	}
+}
+
+func TestUnoDoseMatters(t *testing.T) {
+	// The dose column must carry signal: correlation between dose and
+	// target should be clearly nonzero given the monotone dose response.
+	train, _ := GenUno(UnoConfig{Seed: 4, NTrain: 4000})
+	dose := train.Inputs[1]
+	var num, dd, yy float64
+	my := train.YReg.Mean()
+	md := dose.Mean()
+	for i := 0; i < train.N(); i++ {
+		d := dose.Data[i] - md
+		y := train.YReg.Data[i] - my
+		num += d * y
+		dd += d * d
+		yy += y * y
+	}
+	corr := num / math.Sqrt(dd*yy)
+	if math.Abs(corr) < 0.03 {
+		t.Fatalf("dose-target correlation %g too weak — dose signal missing", corr)
+	}
+}
+
+func TestUnoFingerprintsBinary(t *testing.T) {
+	train, _ := GenUno(UnoConfig{Seed: 5})
+	for _, v := range train.Inputs[3].Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("fingerprint value %g not binary", v)
+		}
+	}
+}
+
+func TestGenNT3ShapesAndBalance(t *testing.T) {
+	train, val := GenNT3(NT3Config{Seed: 1})
+	if !train.IsClassification() {
+		t.Fatal("NT3 must be classification")
+	}
+	if train.NumClasses != 2 {
+		t.Fatalf("NumClasses = %d", train.NumClasses)
+	}
+	if train.N() != 400 || val.N() != 120 {
+		t.Fatalf("split sizes %d/%d", train.N(), val.N())
+	}
+	ones := 0
+	for _, y := range train.YCls {
+		if y == 1 {
+			ones++
+		}
+	}
+	if math.Abs(float64(ones)/float64(train.N())-0.5) > 0.02 {
+		t.Fatalf("classes unbalanced: %d/%d", ones, train.N())
+	}
+}
+
+func TestNT3MotifSeparation(t *testing.T) {
+	// Tumor-class rows contain motif insertions, so their correlation with
+	// the motif template (max over positions) should exceed normal rows'.
+	cfg := NT3Config{Seed: 2, NTrain: 200, NVal: 40}
+	train, _ := GenNT3(cfg)
+	cfg = cfg.withDefaults()
+	motif := make([]float64, cfg.MotifLen)
+	for i := range motif {
+		motif[i] = 2.5 * math.Sin(float64(i)/float64(cfg.MotifLen)*2*math.Pi)
+	}
+	var sum0, sum1 float64
+	var n0, n1 int
+	L := cfg.InputDim
+	for i := 0; i < train.N(); i++ {
+		row := train.Inputs[0].Data[i*L : (i+1)*L]
+		best := math.Inf(-1)
+		for p := 0; p+len(motif) <= L; p++ {
+			var c float64
+			for j, v := range motif {
+				c += v * row[p+j]
+			}
+			if c > best {
+				best = c
+			}
+		}
+		if train.YCls[i] == 0 {
+			sum0 += best
+			n0++
+		} else {
+			sum1 += best
+			n1++
+		}
+	}
+	if sum1/float64(n1) <= sum0/float64(n0) {
+		t.Fatal("tumor class does not carry stronger motif signal")
+	}
+}
+
+func TestGatherSliceSubsample(t *testing.T) {
+	train, _ := GenCombo(ComboConfig{Seed: 6, NTrain: 100, NVal: 10})
+	g := train.Gather([]int{5, 0, 99})
+	if g.N() != 3 {
+		t.Fatalf("Gather N = %d", g.N())
+	}
+	if g.YReg.Data[0] != train.YReg.Data[5] || g.YReg.Data[2] != train.YReg.Data[99] {
+		t.Fatal("Gather rows wrong")
+	}
+	s := train.Slice(10, 20)
+	if s.N() != 10 || s.YReg.Data[0] != train.YReg.Data[10] {
+		t.Fatal("Slice wrong")
+	}
+	sub := train.Subsample(0.25, rng.New(1))
+	if sub.N() != 25 {
+		t.Fatalf("Subsample N = %d, want 25", sub.N())
+	}
+}
+
+func TestSubsampleProperty(t *testing.T) {
+	train, _ := GenCombo(ComboConfig{Seed: 7, NTrain: 64, NVal: 8})
+	f := func(seed uint64, fr uint8) bool {
+		frac := (float64(fr%90) + 10) / 100 // 0.10..0.99
+		sub := train.Subsample(frac, rng.New(seed))
+		want := int(64 * frac)
+		if want < 1 {
+			want = 1
+		}
+		return sub.N() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsampleBadFractionPanics(t *testing.T) {
+	train, _ := GenCombo(ComboConfig{Seed: 8, NTrain: 10, NVal: 5})
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for fraction %g", frac)
+				}
+			}()
+			train.Subsample(frac, rng.New(1))
+		}()
+	}
+}
+
+func TestGatherClassificationLabels(t *testing.T) {
+	train, _ := GenNT3(NT3Config{Seed: 3, NTrain: 50, NVal: 10})
+	g := train.Gather([]int{1, 3})
+	if len(g.YCls) != 2 || g.YCls[0] != train.YCls[1] || g.YCls[1] != train.YCls[3] {
+		t.Fatal("Gather lost classification labels")
+	}
+}
+
+func TestPaperDimensionConstants(t *testing.T) {
+	// Sanity-pin the paper's §2 dimensions used by the cost model.
+	if ComboCellDim != 942 || ComboDrugDim != 3820 {
+		t.Fatal("Combo paper dims drifted")
+	}
+	if UnoRNADim != 942 || UnoDescDim != 5270 || UnoFPDim != 2048 {
+		t.Fatal("Uno paper dims drifted")
+	}
+	if NT3InputDim != 60483 {
+		t.Fatal("NT3 paper dims drifted")
+	}
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nasgo/internal/search"
+)
+
+// microScale keeps experiment tests cheap: tiny agent counts and a short
+// horizon. Shape assertions belong to the bench harness at QuickScale;
+// these tests verify plumbing, memoization, and rendering.
+var microScale = Scale{
+	BaseAgents: 2, BaseWorkers: 2, Horizon: 1200,
+	Replications: 2, TopK: 3, PostEpochs: 2, Seed: 7,
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "default", "paper"} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Fatalf("ScaleByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFig4AndMemoization(t *testing.T) {
+	ResetCache()
+	r1 := Fig4("Combo", microScale)
+	if len(r1.Runs) != 3 {
+		t.Fatalf("runs = %d", len(r1.Runs))
+	}
+	// Second call returns the identical memoized logs.
+	r2 := Fig4("Combo", microScale)
+	for i := range r1.Runs {
+		if r1.Runs[i].Log != r2.Runs[i].Log {
+			t.Fatal("memoization failed: logs differ across calls")
+		}
+	}
+	out := r1.Render()
+	if !strings.Contains(out, "A3C") || !strings.Contains(out, "RDM") {
+		t.Fatalf("render missing strategies:\n%s", out)
+	}
+	if math.IsNaN(r1.BestAt(search.A3C)) {
+		t.Fatal("BestAt(A3C) is NaN")
+	}
+}
+
+func TestFig5SharesFig4Runs(t *testing.T) {
+	ResetCache()
+	f4 := Fig4("Combo", microScale)
+	f5 := Fig5("Combo", microScale)
+	if f4.Runs[0].Log != f5.Runs[0].Log {
+		t.Fatal("Fig5 re-ran Fig4's searches")
+	}
+	u := f5.MeanUtilization(search.RDM)
+	if u <= 0 || u > 1 {
+		t.Fatalf("mean utilization %g out of (0,1]", u)
+	}
+}
+
+func TestFig9ScalingConfigs(t *testing.T) {
+	ResetCache()
+	r := Fig9(microScale)
+	if len(r.Runs) != 5 {
+		t.Fatalf("runs = %d, want 5", len(r.Runs))
+	}
+	if r.Runs[4].Agents != 4*microScale.BaseAgents || r.Runs[4].Workers != microScale.BaseWorkers {
+		t.Fatalf("1024-a config wrong: %+v", r.Runs[4])
+	}
+	if r.Runs[2].Agents != microScale.BaseAgents || r.Runs[2].Workers != 4*microScale.BaseWorkers {
+		t.Fatalf("1024-w config wrong: %+v", r.Runs[2])
+	}
+	out := r.Render()
+	for _, label := range []string{"256", "512-w", "1024-w", "512-a", "1024-a"} {
+		if !strings.Contains(out, label) {
+			t.Fatalf("render missing %s", label)
+		}
+	}
+}
+
+func TestFig11FidelitySweep(t *testing.T) {
+	ResetCache()
+	r := Fig11(microScale)
+	if len(r.Logs) != 4 {
+		t.Fatalf("logs = %d", len(r.Logs))
+	}
+	// Higher fidelity can only increase (or equal) the timeout fraction.
+	if r.TimeoutFraction(3) < r.TimeoutFraction(0) {
+		t.Fatalf("timeout fraction decreased with fidelity: %g -> %g",
+			r.TimeoutFraction(0), r.TimeoutFraction(3))
+	}
+}
+
+func TestFig13Bands(t *testing.T) {
+	ResetCache()
+	r := Fig13(microScale)
+	if len(r.Logs) != microScale.Replications {
+		t.Fatalf("replications = %d", len(r.Logs))
+	}
+	for i := range r.Grid {
+		if r.Bands[0][i] > r.Bands[1][i] || r.Bands[1][i] > r.Bands[2][i] {
+			t.Fatal("quantile bands out of order")
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	ResetCache()
+	r := Table1(microScale)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	combo := r.Row("Combo")
+	if combo == nil || combo.BaselineParams != 13772001 {
+		t.Fatalf("Combo row = %+v", combo)
+	}
+	if combo.BestParams <= 0 {
+		t.Fatal("missing best params")
+	}
+	out := r.Render()
+	if !strings.Contains(out, "manually designed") || !strings.Contains(out, "A3C-best") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	ResetCache()
+	// Only the cheap ids here; the bench harness covers the rest.
+	for _, id := range []string{"fig4", "fig13"} {
+		out, err := Render(id, microScale)
+		if err != nil {
+			t.Fatalf("Render(%s): %v", id, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("Render(%s) empty", id)
+		}
+	}
+	if _, err := Render("fig99", microScale); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+}
+
+func TestAblationCacheScope(t *testing.T) {
+	ResetCache()
+	r := AblationCacheScope(microScale)
+	if len(r.Variants) != 2 {
+		t.Fatalf("variants = %d", len(r.Variants))
+	}
+	out := r.Render()
+	if !strings.Contains(out, "per-agent") || !strings.Contains(out, "global") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestNamesCoveredByRender(t *testing.T) {
+	// Every listed experiment id must be dispatchable (checked without
+	// executing: unknown ids error immediately, so probe with a scale
+	// that cannot run far... instead just verify the switch coverage by
+	// name list consistency).
+	for _, id := range Names() {
+		switch id {
+		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+			"fig11", "fig12", "fig13", "table1",
+			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
+			"ablation-evolution", "multiobjective":
+		default:
+			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package hpc simulates the high-performance-computing substrate of the
+// paper's experiments: the Theta supercomputer's KNL compute nodes, the
+// Cooley cluster's K80 GPUs, and the discrete-event machinery that lets the
+// NAS infrastructure run against a virtual wall clock.
+//
+// The paper's scaling study (utilization curves, synchronous-vs-asynchronous
+// behaviour, timeout effects) is driven by task *durations* and scheduling
+// dynamics, not by hardware micro-detail. This package therefore provides:
+//
+//   - Sim, a deterministic discrete-event simulator (virtual clock + ordered
+//     event queue) that the Balsam workflow simulation, the cluster model,
+//     and the search agents all run on;
+//   - Device models for KNL nodes and K80 GPUs with effective training
+//     throughputs calibrated against the paper's reported baseline training
+//     times (§5: the manually designed Combo network trains in 2215.13 s on
+//     a KNL node and 705.26 s on a K80 GPU);
+//   - a cost model translating an architecture's analytic FLOP count into
+//     training/validation durations, including the 10-minute reward-
+//     estimation timeout.
+package hpc
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is one scheduled callback. seq breaks time ties FIFO so simulations
+// are deterministic.
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. Time is in seconds.
+// All callbacks run on the caller's goroutine inside Run; scheduling from
+// within a callback is the normal way processes continue.
+type Sim struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run after delay seconds of virtual time. Negative
+// delays panic: an event cannot fire in the past.
+func (s *Sim) At(delay float64, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("hpc: negative delay %g", delay))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event, returning false when the queue is empty.
+func (s *Sim) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	if e.time < s.now {
+		panic("hpc: event queue went backwards")
+	}
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue is empty or virtual time would
+// exceed until (events beyond the horizon stay queued; the clock advances
+// to exactly until). It returns the number of events processed.
+func (s *Sim) Run(until float64) int {
+	n := 0
+	for s.queue.Len() > 0 {
+		if s.queue[0].time > until {
+			s.now = until
+			return n
+		}
+		s.Step()
+		n++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll processes every queued event regardless of horizon.
+func (s *Sim) RunAll() int {
+	n := 0
+	for s.Step() {
+		n++
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return s.queue.Len() }

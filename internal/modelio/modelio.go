@@ -1,0 +1,122 @@
+// Package modelio persists trained NAS models. A saved model is the
+// architecture's identity — search-space name, choice vector, input
+// dimensions, unit scale — together with the trained parameter values, so
+// a post-trained network can be shipped and reloaded without retraining:
+//
+//	modelio.Save(path, sp, choices, dims, scale, model)
+//	model, ir, err := modelio.Load(path)          // catalog spaces
+//	model, ir, err := modelio.LoadWithSpace(path, customSpace)
+//
+// The format is a single gob stream (stdlib-only, self-describing enough
+// for this purpose). Loading recompiles the architecture through the same
+// IR path used everywhere else, then installs the saved weights, so a
+// loaded model is structurally identical to the saved one by construction.
+package modelio
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"nasgo/internal/nn"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+)
+
+// fileMagic guards against feeding arbitrary gob files in.
+const fileMagic = "nasgo-model-v1"
+
+// saved is the on-disk representation.
+type saved struct {
+	Magic     string
+	SpaceName string
+	Choices   []int
+	InputDims []int
+	UnitScale float64
+	// Values is the flattened parameter vector in ParamSet order, which
+	// is deterministic given the architecture.
+	Values []float64
+}
+
+// Save writes a trained model built from (sp, choices, inputDims,
+// unitScale) to path.
+func Save(path string, sp *space.Space, choices []int, inputDims []int, unitScale float64, m *nn.Model) error {
+	if err := sp.CheckChoices(choices); err != nil {
+		return fmt.Errorf("modelio: %w", err)
+	}
+	s := saved{
+		Magic:     fileMagic,
+		SpaceName: sp.Name,
+		Choices:   append([]int(nil), choices...),
+		InputDims: append([]int(nil), inputDims...),
+		UnitScale: unitScale,
+		Values:    m.Params().FlattenValues(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(&s); err != nil {
+		return fmt.Errorf("modelio: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads a model whose space is in the catalog (combo-small etc.).
+func Load(path string) (*nn.Model, *space.ArchIR, error) {
+	s, err := read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := space.ByName(s.SpaceName)
+	if err != nil {
+		return nil, nil, fmt.Errorf("modelio: %s was saved from a non-catalog space %q; use LoadWithSpace", path, s.SpaceName)
+	}
+	return build(s, sp)
+}
+
+// LoadWithSpace reads a model saved from a custom space; the caller
+// supplies the identical space definition.
+func LoadWithSpace(path string, sp *space.Space) (*nn.Model, *space.ArchIR, error) {
+	s, err := read(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sp.Name != s.SpaceName {
+		return nil, nil, fmt.Errorf("modelio: %s was saved from space %q, got %q", path, s.SpaceName, sp.Name)
+	}
+	return build(s, sp)
+}
+
+func read(path string) (*saved, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s saved
+	if err := gob.NewDecoder(f).Decode(&s); err != nil {
+		return nil, fmt.Errorf("modelio: decode %s: %w", path, err)
+	}
+	if s.Magic != fileMagic {
+		return nil, fmt.Errorf("modelio: %s is not a nasgo model file", path)
+	}
+	return &s, nil
+}
+
+func build(s *saved, sp *space.Space) (*nn.Model, *space.ArchIR, error) {
+	ir, err := sp.Compile(s.Choices, s.InputDims, s.UnitScale)
+	if err != nil {
+		return nil, nil, fmt.Errorf("modelio: recompile: %w", err)
+	}
+	// The initializer RNG is irrelevant — weights are overwritten — but
+	// building needs one.
+	m := ir.BuildModel(rng.New(0))
+	if m.Params().Count() != len(s.Values) {
+		return nil, nil, fmt.Errorf("modelio: saved %d values, model has %d parameters (space definition drifted?)",
+			len(s.Values), m.Params().Count())
+	}
+	m.Params().SetValues(s.Values)
+	return m, ir, nil
+}

@@ -1,0 +1,115 @@
+package modelio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nasgo/internal/candle"
+	"nasgo/internal/nn"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+	"nasgo/internal/train"
+)
+
+// trainedModel builds and briefly trains a Combo architecture.
+func trainedModel(t *testing.T) (*space.Space, []int, []int, *nn.Model, *candle.Benchmark) {
+	t.Helper()
+	bench := candle.NewCombo(candle.Config{Seed: 1})
+	sp := space.NewComboSmall()
+	choices := make([]int, sp.NumDecisions())
+	for i := range choices {
+		if _, ok := sp.Decision(i).Ops[0].(space.ConnectOp); !ok {
+			choices[i] = 1
+		}
+	}
+	dims := bench.Train.InputDims()
+	ir, err := sp.Compile(choices, dims, bench.UnitScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	m := ir.BuildModel(r.Split())
+	train.Fit(m, bench.Train.Slice(0, 400), train.Config{Epochs: 2, BatchSize: 32, Rand: r.Split()})
+	return sp, choices, dims, m, bench
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sp, choices, dims, m, bench := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := Save(path, sp, choices, dims, bench.UnitScale, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, ir, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.SpaceName != sp.Name {
+		t.Fatalf("IR space %q", ir.SpaceName)
+	}
+	// Identical predictions on validation data.
+	want := m.Predict(bench.Val.Inputs)
+	got := loaded.Predict(bench.Val.Inputs)
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("prediction %d differs after round trip: %g vs %g", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestLoadRejectsCustomSpaceWithoutDefinition(t *testing.T) {
+	bench := candle.NewCombo(candle.Config{Seed: 3})
+	sp := space.NewComboSmallUnshared() // not in ByName's catalog
+	choices := make([]int, sp.NumDecisions())
+	dims := bench.Train.InputDims()
+	ir, err := sp.Compile(choices, dims, bench.UnitScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ir.BuildModel(rng.New(4))
+	path := filepath.Join(t.TempDir(), "custom.gob")
+	if err := Save(path, sp, choices, dims, bench.UnitScale, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("Load must reject non-catalog spaces")
+	}
+	loaded, _, err := LoadWithSpace(path, space.NewComboSmallUnshared())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ParamCount() != m.ParamCount() {
+		t.Fatal("LoadWithSpace parameter mismatch")
+	}
+}
+
+func TestLoadWithWrongSpaceFails(t *testing.T) {
+	sp, choices, dims, m, bench := trainedModel(t)
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := Save(path, sp, choices, dims, bench.UnitScale, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadWithSpace(path, space.NewUnoSmall()); err == nil {
+		t.Fatal("expected space-name mismatch error")
+	}
+}
+
+func TestSaveInvalidChoices(t *testing.T) {
+	sp, _, dims, m, bench := trainedModel(t)
+	if err := Save(filepath.Join(t.TempDir(), "x.gob"), sp, []int{1, 2}, dims, bench.UnitScale, m); err == nil {
+		t.Fatal("expected choice validation error")
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.gob")
+	if err := os.WriteFile(path, []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("expected decode error")
+	}
+	if _, _, err := Load(filepath.Join(t.TempDir(), "missing.gob")); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}

@@ -1,0 +1,258 @@
+package nn
+
+import (
+	"fmt"
+
+	"nasgo/internal/tensor"
+)
+
+type nodeKind int
+
+const (
+	kindInput nodeKind = iota
+	kindLayer
+	kindConcat
+	kindAdd
+)
+
+// node is one vertex of a Model's computation DAG.
+type node struct {
+	id     int
+	kind   nodeKind
+	layer  Layer
+	inputs []int // upstream node ids
+	// inputIndex is the position in the model's input list (kindInput only).
+	inputIndex int
+
+	// forward caches
+	out    *tensor.Tensor
+	widths []int // concat: column widths of each input
+	inW    []int // add: original widths before zero-padding
+}
+
+// ModelBuilder incrementally constructs a computation DAG. Node ids are
+// returned by the builder methods and used to wire downstream nodes; every
+// referenced input must already exist, which makes the node list a valid
+// topological order by construction.
+type ModelBuilder struct {
+	nodes     []*node
+	numInputs int
+}
+
+// NewModelBuilder returns an empty builder.
+func NewModelBuilder() *ModelBuilder { return &ModelBuilder{} }
+
+func (b *ModelBuilder) addNode(n *node) int {
+	n.id = len(b.nodes)
+	for _, in := range n.inputs {
+		if in < 0 || in >= n.id {
+			panic(fmt.Sprintf("nn: node %d references invalid input %d", n.id, in))
+		}
+	}
+	b.nodes = append(b.nodes, n)
+	return n.id
+}
+
+// Input declares a model input placeholder and returns its node id. Inputs
+// are fed to Forward in declaration order.
+func (b *ModelBuilder) Input() int {
+	id := b.addNode(&node{kind: kindInput, inputIndex: b.numInputs})
+	b.numInputs++
+	return id
+}
+
+// Layer applies a Layer to the output of node in and returns the new node id.
+func (b *ModelBuilder) Layer(in int, l Layer) int {
+	return b.addNode(&node{kind: kindLayer, layer: l, inputs: []int{in}})
+}
+
+// Chain applies a sequence of layers and returns the final node id.
+func (b *ModelBuilder) Chain(in int, layers ...Layer) int {
+	id := in
+	for _, l := range layers {
+		id = b.Layer(id, l)
+	}
+	return id
+}
+
+// Concat concatenates the rank-2 outputs of the given nodes along the
+// feature axis — the paper's Concatenate output rule.
+func (b *ModelBuilder) Concat(ins ...int) int {
+	if len(ins) == 0 {
+		panic("nn: Concat of zero nodes")
+	}
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	return b.addNode(&node{kind: kindConcat, inputs: append([]int(nil), ins...)})
+}
+
+// Add sums the rank-2 outputs of the given nodes elementwise. Narrower
+// inputs are zero-padded to the widest, so heterogeneous skip connections
+// (the Uno ConstantNode Add) always compose.
+func (b *ModelBuilder) Add(ins ...int) int {
+	if len(ins) == 0 {
+		panic("nn: Add of zero nodes")
+	}
+	if len(ins) == 1 {
+		return ins[0]
+	}
+	return b.addNode(&node{kind: kindAdd, inputs: append([]int(nil), ins...)})
+}
+
+// Build finalizes the model with the given output node.
+func (b *ModelBuilder) Build(output int) *Model {
+	if output < 0 || output >= len(b.nodes) {
+		panic(fmt.Sprintf("nn: invalid output node %d", output))
+	}
+	params := NewParamSet()
+	for _, n := range b.nodes {
+		if n.kind == kindLayer {
+			params.Add(n.layer.Params()...)
+		}
+	}
+	return &Model{nodes: b.nodes, numInputs: b.numInputs, output: output, params: params}
+}
+
+// Model is a multi-input DAG of layers, the equivalent of a compiled Keras
+// functional model. It supports the shapes the CANDLE networks need: several
+// input layers, shared submodels, concatenation, and additive skips.
+type Model struct {
+	nodes     []*node
+	numInputs int
+	output    int
+	params    *ParamSet
+}
+
+// NumInputs returns the number of input placeholders.
+func (m *Model) NumInputs() int { return m.numInputs }
+
+// Params returns the deduplicated trainable parameters.
+func (m *Model) Params() *ParamSet { return m.params }
+
+// ParamCount returns the number of scalar trainable parameters, counting
+// shared (mirrored) weights once.
+func (m *Model) ParamCount() int { return m.params.Count() }
+
+// ZeroGrad clears all parameter gradients.
+func (m *Model) ZeroGrad() { m.params.ZeroGrad() }
+
+// Forward runs the DAG on the given inputs (one tensor per declared Input,
+// batch rows aligned) and returns the output node's tensor.
+func (m *Model) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(xs) != m.numInputs {
+		panic(fmt.Sprintf("nn: model has %d inputs, got %d", m.numInputs, len(xs)))
+	}
+	for _, n := range m.nodes {
+		switch n.kind {
+		case kindInput:
+			n.out = xs[n.inputIndex]
+		case kindLayer:
+			n.out = n.layer.Forward(m.nodes[n.inputs[0]].out, train)
+		case kindConcat:
+			ts := make([]*tensor.Tensor, len(n.inputs))
+			n.widths = make([]int, len(n.inputs))
+			for i, in := range n.inputs {
+				ts[i] = m.nodes[in].out
+				n.widths[i] = ts[i].Shape[1]
+			}
+			n.out = tensor.ConcatCols(ts...)
+		case kindAdd:
+			maxW := 0
+			n.inW = make([]int, len(n.inputs))
+			for i, in := range n.inputs {
+				w := m.nodes[in].out.Shape[1]
+				n.inW[i] = w
+				if w > maxW {
+					maxW = w
+				}
+			}
+			rows := m.nodes[n.inputs[0]].out.Shape[0]
+			sum := tensor.New(rows, maxW)
+			for _, in := range n.inputs {
+				src := m.nodes[in].out
+				w := src.Shape[1]
+				for r := 0; r < rows; r++ {
+					dst := sum.Data[r*maxW : r*maxW+w]
+					row := src.Data[r*w : (r+1)*w]
+					for j, v := range row {
+						dst[j] += v
+					}
+				}
+			}
+			n.out = sum
+		}
+	}
+	return m.nodes[m.output].out
+}
+
+// Backward propagates dout (gradient at the output node) through the DAG,
+// accumulating parameter gradients. It returns per-input gradients in input
+// order. Forward must have been called first.
+func (m *Model) Backward(dout *tensor.Tensor) []*tensor.Tensor {
+	grads := make([]*tensor.Tensor, len(m.nodes))
+	grads[m.output] = dout
+	inputGrads := make([]*tensor.Tensor, m.numInputs)
+	accumulate := func(id int, g *tensor.Tensor) {
+		if grads[id] == nil {
+			grads[id] = g.Clone()
+		} else {
+			tensor.AddInPlace(grads[id], g)
+		}
+	}
+	for i := len(m.nodes) - 1; i >= 0; i-- {
+		n := m.nodes[i]
+		g := grads[i]
+		if g == nil {
+			continue // node does not feed the output
+		}
+		switch n.kind {
+		case kindInput:
+			inputGrads[n.inputIndex] = g
+		case kindLayer:
+			accumulate(n.inputs[0], n.layer.Backward(g))
+		case kindConcat:
+			parts := tensor.SplitCols(g, n.widths)
+			for j, in := range n.inputs {
+				accumulate(in, parts[j])
+			}
+		case kindAdd:
+			rows := g.Shape[0]
+			maxW := g.Shape[1]
+			for j, in := range n.inputs {
+				w := n.inW[j]
+				part := tensor.New(rows, w)
+				for r := 0; r < rows; r++ {
+					copy(part.Data[r*w:(r+1)*w], g.Data[r*maxW:r*maxW+w])
+				}
+				accumulate(in, part)
+			}
+		}
+	}
+	return inputGrads
+}
+
+// Predict runs a forward pass in inference mode.
+func (m *Model) Predict(xs []*tensor.Tensor) *tensor.Tensor {
+	return m.Forward(xs, false)
+}
+
+// Summary returns a layer-by-layer description, loosely mirroring
+// keras.Model.summary().
+func (m *Model) Summary() string {
+	s := ""
+	for _, n := range m.nodes {
+		switch n.kind {
+		case kindInput:
+			s += fmt.Sprintf("#%d Input[%d]\n", n.id, n.inputIndex)
+		case kindLayer:
+			s += fmt.Sprintf("#%d %s <- #%d\n", n.id, n.layer.Name(), n.inputs[0])
+		case kindConcat:
+			s += fmt.Sprintf("#%d Concatenate <- %v\n", n.id, n.inputs)
+		case kindAdd:
+			s += fmt.Sprintf("#%d Add <- %v\n", n.id, n.inputs)
+		}
+	}
+	s += fmt.Sprintf("trainable parameters: %d\n", m.ParamCount())
+	return s
+}

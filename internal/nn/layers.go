@@ -1,0 +1,323 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nasgo/internal/rng"
+	"nasgo/internal/tensor"
+)
+
+// Layer is a single-input, single-output differentiable transformation.
+// Forward caches whatever Backward needs; a layer instance therefore serves
+// one in-flight (forward, backward) pair at a time, which matches how the
+// evaluator trains one model per task. Backward returns the gradient with
+// respect to the layer input and accumulates parameter gradients.
+type Layer interface {
+	// Name returns a short human-readable identifier, e.g. "Dense(100, relu)".
+	Name() string
+	// Forward applies the layer. train enables training-only behaviour
+	// such as dropout masking.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input gradient.
+	Backward(dout *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly shared
+	// with other layers). Stateless layers return nil.
+	Params() []*Param
+}
+
+// Activation kinds supported across the search spaces.
+const (
+	ActLinear  = "linear"
+	ActReLU    = "relu"
+	ActTanh    = "tanh"
+	ActSigmoid = "sigmoid"
+)
+
+func applyActivation(kind string, z *tensor.Tensor) *tensor.Tensor {
+	switch kind {
+	case ActLinear, "":
+		return z
+	case ActReLU:
+		return tensor.Apply(z, func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	case ActTanh:
+		return tensor.Apply(z, math.Tanh)
+	case ActSigmoid:
+		return tensor.Apply(z, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", kind))
+	}
+}
+
+// activationGrad returns dL/dz given dL/da where a = act(z); a is the cached
+// post-activation output.
+func activationGrad(kind string, a, dout *tensor.Tensor) *tensor.Tensor {
+	switch kind {
+	case ActLinear, "":
+		return dout
+	case ActReLU:
+		out := tensor.New(dout.Shape...)
+		for i := range dout.Data {
+			if a.Data[i] > 0 {
+				out.Data[i] = dout.Data[i]
+			}
+		}
+		return out
+	case ActTanh:
+		out := tensor.New(dout.Shape...)
+		for i := range dout.Data {
+			out.Data[i] = dout.Data[i] * (1 - a.Data[i]*a.Data[i])
+		}
+		return out
+	case ActSigmoid:
+		out := tensor.New(dout.Shape...)
+		for i := range dout.Data {
+			out.Data[i] = dout.Data[i] * a.Data[i] * (1 - a.Data[i])
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %q", kind))
+	}
+}
+
+// Dense is a fully connected layer y = act(xW + b), the paper's
+// Dense(units, activation) search-space operation. W has shape [in, units].
+type Dense struct {
+	W, B       *Param
+	Activation string
+
+	x, out *tensor.Tensor // forward caches
+}
+
+// NewDense creates a Dense layer with Glorot-uniform weights and zero bias.
+func NewDense(r *rng.Rand, in, units int, activation string) *Dense {
+	w := NewParam(fmt.Sprintf("dense_w_%dx%d", in, units), in, units)
+	w.Value.GlorotUniform(r, in, units)
+	b := NewParam(fmt.Sprintf("dense_b_%d", units), units)
+	return &Dense{W: w, B: b, Activation: activation}
+}
+
+// NewDenseShared creates a Dense layer that reuses existing parameters —
+// the mechanism behind MirrorNode weight sharing.
+func NewDenseShared(w, b *Param, activation string) *Dense {
+	return &Dense{W: w, B: b, Activation: activation}
+}
+
+func (d *Dense) Name() string {
+	return fmt.Sprintf("Dense(%d, %s)", d.W.Value.Shape[1], d.Activation)
+}
+
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.W.Value.Shape[0] {
+		panic(fmt.Sprintf("nn: Dense input %v, weights %v", x.Shape, d.W.Value.Shape))
+	}
+	d.x = x
+	z := tensor.AddRowVector(tensor.MatMul(x, d.W.Value), d.B.Value)
+	d.out = applyActivation(d.Activation, z)
+	return d.out
+}
+
+func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dz := activationGrad(d.Activation, d.out, dout)
+	tensor.AddInPlace(d.W.Grad, tensor.MatMulTransA(d.x, dz))
+	tensor.AddInPlace(d.B.Grad, tensor.ColSums(dz))
+	return tensor.MatMulTransB(dz, d.W.Value)
+}
+
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Identity passes its input through unchanged — the "no layer here" option
+// every variable node carries.
+type Identity struct{}
+
+func (Identity) Name() string                                        { return "Identity" }
+func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
+func (Identity) Backward(dout *tensor.Tensor) *tensor.Tensor         { return dout }
+func (Identity) Params() []*Param                                    { return nil }
+
+// Activate applies a standalone activation function (the NT3 Act_Node).
+type Activate struct {
+	Kind string
+	out  *tensor.Tensor
+}
+
+func (a *Activate) Name() string { return fmt.Sprintf("Activation(%s)", a.Kind) }
+
+func (a *Activate) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	a.out = applyActivation(a.Kind, x)
+	return a.out
+}
+
+func (a *Activate) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return activationGrad(a.Kind, a.out, dout)
+}
+
+func (a *Activate) Params() []*Param { return nil }
+
+// Dropout zeroes a fraction Rate of activations during training and scales
+// the survivors by 1/(1-Rate) (inverted dropout), matching Keras semantics:
+// inference is a no-op.
+type Dropout struct {
+	Rate float64
+	rand *rng.Rand
+	mask []float64
+}
+
+// NewDropout creates a dropout layer with its own seeded RNG stream.
+func NewDropout(r *rng.Rand, rate float64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("nn: dropout rate %g out of [0,1)", rate))
+	}
+	return &Dropout{Rate: rate, rand: r.Split()}
+}
+
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%g)", d.Rate) }
+
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	d.mask = make([]float64, x.Size())
+	out := tensor.New(x.Shape...)
+	for i := range x.Data {
+		if d.rand.Float64() < keep {
+			d.mask[i] = scale
+			out.Data[i] = x.Data[i] * scale
+		}
+	}
+	return out
+}
+
+func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return dout
+	}
+	out := tensor.New(dout.Shape...)
+	for i := range dout.Data {
+		out.Data[i] = dout.Data[i] * d.mask[i]
+	}
+	return out
+}
+
+func (d *Dropout) Params() []*Param { return nil }
+
+// Conv1D is a 1-D convolution layer over [batch, length, channels] inputs,
+// the paper's Conv1D(kernel) operation for traversing long drug descriptors
+// and gene-expression profiles.
+type Conv1D struct {
+	W, B       *Param // W: [kernel, in, filters]
+	Stride     int
+	Activation string
+
+	x, out *tensor.Tensor
+}
+
+// NewConv1D creates a convolution with Glorot-uniform weights.
+func NewConv1D(r *rng.Rand, kernel, in, filters, stride int, activation string) *Conv1D {
+	w := NewParam(fmt.Sprintf("conv_w_%dx%dx%d", kernel, in, filters), kernel, in, filters)
+	w.Value.GlorotUniform(r, kernel*in, kernel*filters)
+	b := NewParam(fmt.Sprintf("conv_b_%d", filters), filters)
+	return &Conv1D{W: w, B: b, Stride: stride, Activation: activation}
+}
+
+func (c *Conv1D) Name() string {
+	return fmt.Sprintf("Conv1D(k=%d, f=%d)", c.W.Value.Shape[0], c.W.Value.Shape[2])
+}
+
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.x = x
+	z := tensor.Conv1D(x, c.W.Value, c.B.Value, c.Stride)
+	c.out = applyActivation(c.Activation, z)
+	return c.out
+}
+
+func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	dz := activationGrad(c.Activation, c.out, dout)
+	dx, dw, db := tensor.Conv1DBackward(c.x, c.W.Value, dz, c.Stride)
+	tensor.AddInPlace(c.W.Grad, dw)
+	tensor.AddInPlace(c.B.Grad, db)
+	return dx
+}
+
+func (c *Conv1D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool1D is a max-pooling layer over [batch, length, channels] inputs.
+// Stride follows the Keras default of the pool size when zero.
+type MaxPool1D struct {
+	Pool, Stride int
+
+	xShape []int
+	arg    []int
+}
+
+// NewMaxPool1D creates a pooling layer; stride 0 means stride = pool.
+func NewMaxPool1D(pool, stride int) *MaxPool1D {
+	if stride == 0 {
+		stride = pool
+	}
+	return &MaxPool1D{Pool: pool, Stride: stride}
+}
+
+func (m *MaxPool1D) Name() string { return fmt.Sprintf("MaxPooling1D(%d)", m.Pool) }
+
+func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m.xShape = append([]int(nil), x.Shape...)
+	out, arg := tensor.MaxPool1D(x, m.Pool, m.Stride)
+	m.arg = arg
+	return out
+}
+
+func (m *MaxPool1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPool1DBackward(m.xShape, m.arg, dout)
+}
+
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+// Flatten reshapes [batch, length, channels] to [batch, length*channels].
+type Flatten struct {
+	xShape []int
+}
+
+func (f *Flatten) Name() string { return "Flatten" }
+
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.xShape = append([]int(nil), x.Shape...)
+	if x.Rank() == 2 {
+		return x
+	}
+	return tensor.Flatten2D(x)
+}
+
+func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(f.xShape...)
+}
+
+func (f *Flatten) Params() []*Param { return nil }
+
+// Reshape1D turns a [batch, d] matrix into a [batch, d, 1] sequence so that
+// 1-D convolutions can traverse a flat feature vector, as NT3's input layer
+// does with the RNA-seq profile.
+type Reshape1D struct{}
+
+func (Reshape1D) Name() string { return "Reshape1D" }
+
+func (Reshape1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Reshape1D input rank %d", x.Rank()))
+	}
+	return x.Reshape(x.Shape[0], x.Shape[1], 1)
+}
+
+func (Reshape1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(dout.Shape[0], dout.Shape[1])
+}
+
+func (Reshape1D) Params() []*Param { return nil }

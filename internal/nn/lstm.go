@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"nasgo/internal/rng"
+	"nasgo/internal/tensor"
+)
+
+// LSTM is a single long short-term memory cell with manual backpropagation
+// through time. The paper's policy and value networks are single-layer
+// 32-unit LSTMs (§5); this type provides the recurrent core, with the
+// per-decision output heads living in the rl package.
+//
+// Gate layout in the fused weight matrices is [input | forget | cell |
+// output], each Hidden wide. Forward steps push caches onto an internal
+// stack; BackwardStep pops them in reverse, so a full BPTT pass is
+// Step×T followed by BackwardStep×T. ResetCache drops any pending caches.
+type LSTM struct {
+	Wx, Wh, B  *Param // Wx:[in,4H] Wh:[H,4H] B:[4H]
+	In, Hidden int
+
+	steps []lstmStep
+}
+
+type lstmStep struct {
+	x, hPrev, cPrev      *tensor.Tensor
+	i, f, g, o, c, tanhC *tensor.Tensor
+}
+
+// NewLSTM creates an LSTM cell with Glorot-uniform input weights,
+// Glorot-uniform recurrent weights, and the forget-gate bias set to 1 (the
+// standard stabilization).
+func NewLSTM(r *rng.Rand, in, hidden int) *LSTM {
+	wx := NewParam(fmt.Sprintf("lstm_wx_%dx%d", in, 4*hidden), in, 4*hidden)
+	wx.Value.GlorotUniform(r, in, 4*hidden)
+	wh := NewParam(fmt.Sprintf("lstm_wh_%dx%d", hidden, 4*hidden), hidden, 4*hidden)
+	wh.Value.GlorotUniform(r, hidden, 4*hidden)
+	b := NewParam(fmt.Sprintf("lstm_b_%d", 4*hidden), 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Value.Data[j] = 1 // forget gate
+	}
+	return &LSTM{Wx: wx, Wh: wh, B: b, In: in, Hidden: hidden}
+}
+
+// Params returns the cell's trainable parameters.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }
+
+// ZeroState returns zero h and c states for the given batch size.
+func (l *LSTM) ZeroState(batch int) (h, c *tensor.Tensor) {
+	return tensor.New(batch, l.Hidden), tensor.New(batch, l.Hidden)
+}
+
+// ResetCache clears pending BPTT caches.
+func (l *LSTM) ResetCache() { l.steps = l.steps[:0] }
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Step advances the cell one timestep: x is [batch, in], hPrev/cPrev are
+// [batch, hidden]. It returns the new h and c and records the caches needed
+// by BackwardStep.
+func (l *LSTM) Step(x, hPrev, cPrev *tensor.Tensor) (h, c *tensor.Tensor) {
+	if x.Shape[1] != l.In {
+		panic(fmt.Sprintf("nn: LSTM input width %d, want %d", x.Shape[1], l.In))
+	}
+	batch := x.Shape[0]
+	H := l.Hidden
+	z := tensor.AddRowVector(tensor.MatMul(x, l.Wx.Value), l.B.Value)
+	tensor.AddInPlace(z, tensor.MatMul(hPrev, l.Wh.Value))
+
+	i := tensor.New(batch, H)
+	f := tensor.New(batch, H)
+	g := tensor.New(batch, H)
+	o := tensor.New(batch, H)
+	c = tensor.New(batch, H)
+	h = tensor.New(batch, H)
+	tanhC := tensor.New(batch, H)
+	for r := 0; r < batch; r++ {
+		zr := z.Data[r*4*H : (r+1)*4*H]
+		for j := 0; j < H; j++ {
+			iv := sigmoid(zr[j])
+			fv := sigmoid(zr[H+j])
+			gv := math.Tanh(zr[2*H+j])
+			ov := sigmoid(zr[3*H+j])
+			cv := fv*cPrev.Data[r*H+j] + iv*gv
+			tc := math.Tanh(cv)
+			i.Data[r*H+j] = iv
+			f.Data[r*H+j] = fv
+			g.Data[r*H+j] = gv
+			o.Data[r*H+j] = ov
+			c.Data[r*H+j] = cv
+			tanhC.Data[r*H+j] = tc
+			h.Data[r*H+j] = ov * tc
+		}
+	}
+	l.steps = append(l.steps, lstmStep{x: x, hPrev: hPrev, cPrev: cPrev, i: i, f: f, g: g, o: o, c: c, tanhC: tanhC})
+	return h, c
+}
+
+// BackwardStep pops the most recent cached step and backpropagates the
+// gradients dh (w.r.t. the step's h output) and dc (w.r.t. its c output;
+// nil means zero). It accumulates parameter gradients and returns the
+// gradients with respect to x, hPrev, and cPrev.
+func (l *LSTM) BackwardStep(dh, dc *tensor.Tensor) (dx, dhPrev, dcPrev *tensor.Tensor) {
+	if len(l.steps) == 0 {
+		panic("nn: LSTM BackwardStep with no cached forward step")
+	}
+	st := l.steps[len(l.steps)-1]
+	l.steps = l.steps[:len(l.steps)-1]
+
+	batch := dh.Shape[0]
+	H := l.Hidden
+	dz := tensor.New(batch, 4*H)
+	dcPrev = tensor.New(batch, H)
+	for r := 0; r < batch; r++ {
+		for j := 0; j < H; j++ {
+			k := r*H + j
+			iv, fv, gv, ov := st.i.Data[k], st.f.Data[k], st.g.Data[k], st.o.Data[k]
+			tc := st.tanhC.Data[k]
+			dhv := dh.Data[k]
+			dcv := dhv * ov * (1 - tc*tc)
+			if dc != nil {
+				dcv += dc.Data[k]
+			}
+			dov := dhv * tc
+			dfv := dcv * st.cPrev.Data[k]
+			div := dcv * gv
+			dgv := dcv * iv
+			dcPrev.Data[k] = dcv * fv
+			zr := dz.Data[r*4*H : (r+1)*4*H]
+			zr[j] = div * iv * (1 - iv)
+			zr[H+j] = dfv * fv * (1 - fv)
+			zr[2*H+j] = dgv * (1 - gv*gv)
+			zr[3*H+j] = dov * ov * (1 - ov)
+		}
+	}
+	tensor.AddInPlace(l.Wx.Grad, tensor.MatMulTransA(st.x, dz))
+	tensor.AddInPlace(l.Wh.Grad, tensor.MatMulTransA(st.hPrev, dz))
+	tensor.AddInPlace(l.B.Grad, tensor.ColSums(dz))
+	dx = tensor.MatMulTransB(dz, l.Wx.Value)
+	dhPrev = tensor.MatMulTransB(dz, l.Wh.Value)
+	return dx, dhPrev, dcPrev
+}

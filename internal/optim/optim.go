@@ -1,0 +1,97 @@
+// Package optim provides the gradient-descent optimizers used by nasgo:
+// Adam (the paper's choice for both reward estimation and post-training,
+// with its Keras-default learning rate of 0.001) and plain SGD with optional
+// momentum. Optimizers keep per-parameter state keyed by parameter identity,
+// so shared (mirrored) parameters are updated exactly once per Step.
+package optim
+
+import (
+	"math"
+
+	"nasgo/internal/nn"
+)
+
+// Optimizer updates a parameter set in place from its accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the current gradients. It does not
+	// zero the gradients; callers do that before the next backward pass.
+	Step(params *nn.ParamSet)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity map[*nn.Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*nn.Param][]float64)}
+}
+
+// Step applies v = mu*v - lr*g; w += v (or plain w -= lr*g when mu == 0).
+func (s *SGD) Step(params *nn.ParamSet) {
+	for _, p := range params.List() {
+		if s.Momentum == 0 {
+			for i, g := range p.Grad.Data {
+				p.Value.Data[i] -= s.LR * g
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, p.Size())
+			s.velocity[p] = v
+		}
+		for i, g := range p.Grad.Data {
+			v[i] = s.Momentum*v[i] - s.LR*g
+			p.Value.Data[i] += v[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba) with bias correction,
+// matching the Keras defaults the paper uses: lr=0.001, beta1=0.9,
+// beta2=0.999, eps=1e-7.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*nn.Param][]float64
+	v map[*nn.Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with the given learning rate and Keras
+// default moments.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7,
+		m: make(map[*nn.Param][]float64),
+		v: make(map[*nn.Param][]float64),
+	}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params *nn.ParamSet) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params.List() {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, p.Size())
+			a.m[p] = m
+			a.v[p] = make([]float64, p.Size())
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package posttrain
+
+import (
+	"testing"
+
+	"nasgo/internal/candle"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+)
+
+// fakeTop builds synthetic top-k results (random valid architectures) so
+// post-training can be tested without running a search.
+func fakeTop(sp *space.Space, n int, seed uint64) []*evaluator.Result {
+	r := rng.New(seed)
+	out := make([]*evaluator.Result, n)
+	for i := range out {
+		choices := sp.RandomChoices(r)
+		out[i] = &evaluator.Result{
+			Key:     sp.Hash(choices),
+			Choices: choices,
+			Reward:  0.5 - 0.01*float64(i),
+		}
+	}
+	return out
+}
+
+func TestRunProducesRatios(t *testing.T) {
+	bench := candle.NewCombo(candle.Config{Seed: 1})
+	sp := space.NewComboSmall()
+	top := fakeTop(sp, 3, 2)
+	rep := Run(bench, sp, top, Config{Epochs: 3, Seed: 3})
+
+	if rep.BaselineParams != 13772001 {
+		t.Fatalf("baseline params = %d", rep.BaselineParams)
+	}
+	if rep.BaselineTime <= 0 || rep.BaselineMetric == 0 {
+		t.Fatalf("baseline time %g metric %g", rep.BaselineTime, rep.BaselineMetric)
+	}
+	if len(rep.Entries) != 3 {
+		t.Fatalf("entries = %d", len(rep.Entries))
+	}
+	for _, e := range rep.Entries {
+		if e.Params <= 0 || e.TrainTime <= 0 {
+			t.Fatalf("entry missing analytic stats: %+v", e)
+		}
+		if e.ParamsRatio <= 0 || e.TimeRatio <= 0 {
+			t.Fatalf("entry missing ratios: %+v", e)
+		}
+		// Ratio consistency.
+		want := float64(rep.BaselineParams) / float64(e.Params)
+		if e.ParamsRatio != want {
+			t.Fatalf("params ratio %g, want %g", e.ParamsRatio, want)
+		}
+	}
+}
+
+func TestBaselineTimeMatchesPaper(t *testing.T) {
+	// The analytic K80 time is linear in epochs, and at the paper's 20
+	// epochs it is the calibrated 705.26 s; at 2 epochs, a tenth of that.
+	bench := candle.NewCombo(candle.Config{Seed: 1})
+	sp := space.NewComboSmall()
+	rep := Run(bench, sp, fakeTop(sp, 1, 5), Config{Epochs: 2, Seed: 1})
+	if rep.BaselineTime < 69.8 || rep.BaselineTime > 71.2 {
+		t.Fatalf("baseline K80 time = %.2f, want ≈70.53 (705.26/10)", rep.BaselineTime)
+	}
+}
+
+func TestBestAndSort(t *testing.T) {
+	bench := candle.NewCombo(candle.Config{Seed: 2})
+	sp := space.NewComboSmall()
+	rep := Run(bench, sp, fakeTop(sp, 4, 7), Config{Epochs: 2, Seed: 2})
+	best := rep.Best()
+	if best == nil {
+		t.Fatal("no best entry")
+	}
+	for _, e := range rep.Entries {
+		if e.Metric > best.Metric {
+			t.Fatal("Best() is not the max")
+		}
+	}
+	rep.SortByMetric()
+	for i := 1; i < len(rep.Entries); i++ {
+		if rep.Entries[i].Metric > rep.Entries[i-1].Metric {
+			t.Fatal("SortByMetric not descending")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		bench := candle.NewCombo(candle.Config{Seed: 3})
+		sp := space.NewComboSmall()
+		rep := Run(bench, sp, fakeTop(sp, 2, 9), Config{Epochs: 2, Seed: 4})
+		return rep.Entries[0].Metric
+	}
+	if run() != run() {
+		t.Fatal("post-training not deterministic")
+	}
+}
+
+func TestEmptyTop(t *testing.T) {
+	bench := candle.NewCombo(candle.Config{Seed: 4})
+	sp := space.NewComboSmall()
+	rep := Run(bench, sp, nil, Config{Epochs: 2, Seed: 5})
+	if len(rep.Entries) != 0 {
+		t.Fatal("expected no entries")
+	}
+	if rep.Best() != nil {
+		t.Fatal("Best of empty report must be nil")
+	}
+}

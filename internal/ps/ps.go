@@ -1,0 +1,163 @@
+// Package ps implements the parameter server of the paper's manager-worker
+// RL scaling scheme (§3.2, Fig. 2).
+//
+// Agents compute PPO gradients locally and exchange them through the
+// server. In synchronous mode (A2C) the server waits for a gradient from
+// every agent before averaging, so a round completes only when the slowest
+// agent arrives — the source of A2C's sawtooth utilization. In asynchronous
+// mode (A3C) the server responds immediately with the average of a window
+// of recently received gradients, trading gradient staleness for
+// utilization.
+//
+// The server runs on the discrete-event simulator: callbacks fire after a
+// configurable exchange latency of virtual time.
+package ps
+
+import (
+	"fmt"
+
+	"nasgo/internal/hpc"
+)
+
+// Mode selects the aggregation discipline.
+type Mode int
+
+const (
+	// Sync is A2C: average gradients from all N agents per round.
+	Sync Mode = iota
+	// Async is A3C: average the most recent window of gradients.
+	Async
+)
+
+func (m Mode) String() string {
+	if m == Sync {
+		return "sync"
+	}
+	return "async"
+}
+
+// Config parameterizes the server.
+type Config struct {
+	Mode Mode
+	// Agents is the number of participating agents (required for Sync).
+	Agents int
+	// Window is the Async averaging window; 0 defaults to 4, matching a
+	// "set of recently received gradients".
+	Window int
+	// Latency is the virtual round-trip seconds of one exchange.
+	Latency float64
+}
+
+// Stats reports aggregate server behaviour for the analytics module.
+type Stats struct {
+	Exchanges int
+	Rounds    int // completed Sync rounds
+	// MeanStaleness is the mean, over Async responses, of how many
+	// gradients (from any agent) arrived between the responder's previous
+	// exchange and this one — the paper's gradient-staleness concern.
+	MeanStaleness float64
+}
+
+// Server aggregates gradients over virtual time.
+type Server struct {
+	sim *hpc.Sim
+	cfg Config
+
+	// Sync state.
+	pending [][]float64
+	waiters []func([]float64)
+	// Async state.
+	window [][]float64
+	// Staleness accounting.
+	arrival      int64
+	lastExchange map[int]int64
+	staleSum     float64
+	staleN       int
+
+	exchanges int
+	rounds    int
+}
+
+// NewServer creates a parameter server on the given simulator.
+func NewServer(sim *hpc.Sim, cfg Config) *Server {
+	if cfg.Mode == Sync && cfg.Agents <= 0 {
+		panic("ps: Sync mode requires Agents > 0")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = 4
+	}
+	return &Server{sim: sim, cfg: cfg, lastExchange: map[int]int64{}}
+}
+
+// Exchange submits agentID's gradient; done fires (after the exchange
+// latency of virtual time) with the averaged gradient the agent should
+// apply. In Sync mode done fires only once the round's last agent arrives.
+func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64)) {
+	s.exchanges++
+	s.arrival++
+	if last, ok := s.lastExchange[agentID]; ok {
+		s.staleSum += float64(s.arrival - last - 1)
+		s.staleN++
+	}
+	s.lastExchange[agentID] = s.arrival
+
+	switch s.cfg.Mode {
+	case Sync:
+		s.pending = append(s.pending, grad)
+		s.waiters = append(s.waiters, done)
+		if len(s.pending) < s.cfg.Agents {
+			return
+		}
+		avg := average(s.pending)
+		waiters := s.waiters
+		s.pending = nil
+		s.waiters = nil
+		s.rounds++
+		for _, w := range waiters {
+			w := w
+			s.sim.At(s.cfg.Latency, func() { w(avg) })
+		}
+	case Async:
+		s.window = append(s.window, grad)
+		if len(s.window) > s.cfg.Window {
+			s.window = s.window[len(s.window)-s.cfg.Window:]
+		}
+		avg := average(s.window)
+		s.sim.At(s.cfg.Latency, func() { done(avg) })
+	default:
+		panic(fmt.Sprintf("ps: unknown mode %d", s.cfg.Mode))
+	}
+}
+
+// PendingSync returns how many agents are waiting at the Sync barrier.
+func (s *Server) PendingSync() int { return len(s.pending) }
+
+// Stats returns aggregate behaviour counters.
+func (s *Server) Stats() Stats {
+	st := Stats{Exchanges: s.exchanges, Rounds: s.rounds}
+	if s.staleN > 0 {
+		st.MeanStaleness = s.staleSum / float64(s.staleN)
+	}
+	return st
+}
+
+func average(grads [][]float64) []float64 {
+	if len(grads) == 0 {
+		panic("ps: averaging no gradients")
+	}
+	dim := len(grads[0])
+	avg := make([]float64, dim)
+	for _, g := range grads {
+		if len(g) != dim {
+			panic(fmt.Sprintf("ps: gradient length %d, want %d", len(g), dim))
+		}
+		for i, v := range g {
+			avg[i] += v
+		}
+	}
+	inv := 1 / float64(len(grads))
+	for i := range avg {
+		avg[i] *= inv
+	}
+	return avg
+}

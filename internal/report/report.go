@@ -1,0 +1,150 @@
+// Package report renders experiment outputs as terminal artifacts: ASCII
+// line charts for the paper's figures, aligned tables for Table 1, and TSV
+// emission so series can be replotted with external tools.
+package report
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders series as an ASCII line chart. NaN points are skipped.
+// Each series is drawn with its own glyph; a legend follows the axes.
+func Chart(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return title + " (no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		var prevC, prevR = -1, -1
+		for i := range s.X {
+			if math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			c := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			r := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
+			grid[r][c] = g
+			// Light interpolation between consecutive points.
+			if prevC >= 0 && c > prevC+1 {
+				for cc := prevC + 1; cc < c; cc++ {
+					rr := prevR + (r-prevR)*(cc-prevC)/(c-prevC)
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			prevC, prevR = c, r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i, row := range grid {
+		yval := ymax - (ymax-ymin)*float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%9.3f |%s|\n", yval, string(row))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%9s  %-*.4g%*.4g  (%s)\n", "", width/2, xmin, width-width/2, xmax, xlabel)
+	legend := make([]string, len(series))
+	for i, s := range series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	fmt.Fprintf(&b, "%9s  y: %s; %s\n", "", ylabel, strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// WriteTSV writes headers and rows to path as tab-separated values.
+func WriteTSV(path string, headers []string, rows [][]string) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(headers, "\t"))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// F formats a float compactly for tables.
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && (math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3):
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

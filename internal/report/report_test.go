@@ -1,0 +1,101 @@
+package report
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Chart("test chart", "x", "y", s, 40, 10)
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "(x)") {
+		t.Fatal("missing x label")
+	}
+	// The rising series' glyph must appear in both top and bottom rows.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("top row missing max point: %q", lines[1])
+	}
+}
+
+func TestChartHandlesNaN(t *testing.T) {
+	s := []Series{{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}}}
+	out := Chart("nan chart", "x", "y", s, 30, 6)
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into the chart")
+	}
+}
+
+func TestChartNoData(t *testing.T) {
+	out := Chart("empty", "x", "y", []Series{{Name: "a"}}, 30, 6)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	s := []Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}}}
+	out := Chart("flat", "x", "y", s, 30, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"xxxxxx", "1"}, {"y", "2"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	w := len(lines[0])
+	for _, l := range lines[1:] {
+		if len(l) > w+2 {
+			t.Fatalf("ragged table: %q vs %q", lines[0], l)
+		}
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.tsv")
+	err := WriteTSV(path, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2\n3\t4\n"
+	if string(data) != want {
+		t.Fatalf("TSV = %q, want %q", data, want)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		1.23456:    "1.235",
+		0:          "0.000",
+		1.5e7:      "1.5e+07",
+		math.NaN(): "-",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Fatalf("F(%g) = %q, want %q", in, got, want)
+		}
+	}
+}

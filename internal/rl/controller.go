@@ -1,0 +1,363 @@
+// Package rl implements the reinforcement-learning controller of the
+// paper's NAS (§3.2): an LSTM policy network that emits one categorical
+// decision per variable node of the search space, a separate LSTM value
+// network serving as the state-dependent baseline, and the clipped-surrogate
+// proximal policy optimization update with the paper's hyperparameters
+// (single-layer LSTM with 32 units, epochs=4, clip=0.2, learning rate 0.001).
+//
+// Architecture generation is a Markov decision process: the decision made at
+// layer t conditions, through the recurrent state, every later decision.
+// An episode is one generated architecture; the reward (validation R² or
+// accuracy, estimated by the evaluator) arrives only at the terminal step.
+//
+// Gradients are exposed as flat vectors so the search package can exchange
+// them with the parameter server exactly as the paper's agents do.
+package rl
+
+import (
+	"fmt"
+	"math"
+
+	"nasgo/internal/nn"
+	"nasgo/internal/optim"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+	"nasgo/internal/tensor"
+)
+
+// Config holds the controller hyperparameters; zero values take the paper's
+// settings.
+type Config struct {
+	Hidden       int     // LSTM units (paper: 32)
+	LearningRate float64 // Adam LR (paper: 0.001)
+	Clip         float64 // PPO clip ε (paper: 0.2)
+	Epochs       int     // PPO epochs per batch (paper: 4)
+	ValueCoef    float64 // value-loss weight (0.5)
+	EntropyCoef  float64 // entropy-bonus weight (0.01)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.001
+	}
+	if c.Clip == 0 {
+		c.Clip = 0.2
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 4
+	}
+	if c.ValueCoef == 0 {
+		c.ValueCoef = 0.5
+	}
+	if c.EntropyCoef == 0 {
+		c.EntropyCoef = 0.01
+	}
+	return c
+}
+
+// Episode is one sampled architecture with the log-probabilities recorded
+// at sampling time (the "old" policy of the PPO ratio) and, once estimated,
+// its reward.
+type Episode struct {
+	Choices []int
+	OldLogP []float64
+	Reward  float64
+}
+
+// Controller is the per-agent policy/value pair over one search space.
+type Controller struct {
+	Space *space.Space
+	Cfg   Config
+
+	inWidth int // one-hot width: MaxChoices options + 1 start token
+
+	policy    *nn.LSTM
+	heads     []*nn.Dense // one logits head per decision
+	value     *nn.LSTM
+	valueHead *nn.Dense
+	params    *nn.ParamSet
+	opt       *optim.Adam
+	rand      *rng.Rand
+}
+
+// NewController builds a controller with its own deterministic RNG stream.
+func NewController(s *space.Space, seed uint64, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	r := rng.New(seed)
+	inWidth := s.MaxChoices() + 1
+	c := &Controller{
+		Space:   s,
+		Cfg:     cfg,
+		inWidth: inWidth,
+		policy:  nn.NewLSTM(r, inWidth, cfg.Hidden),
+		value:   nn.NewLSTM(r, inWidth, cfg.Hidden),
+		rand:    r.Split(),
+	}
+	for i := 0; i < s.NumDecisions(); i++ {
+		c.heads = append(c.heads, nn.NewDense(r, cfg.Hidden, s.NumChoices(i), nn.ActLinear))
+	}
+	c.valueHead = nn.NewDense(r, cfg.Hidden, 1, nn.ActLinear)
+	c.params = nn.NewParamSet()
+	c.params.Add(c.policy.Params()...)
+	for _, h := range c.heads {
+		c.params.Add(h.Params()...)
+	}
+	c.params.Add(c.value.Params()...)
+	c.params.Add(c.valueHead.Params()...)
+	c.opt = optim.NewAdam(cfg.LearningRate)
+	return c
+}
+
+// Params returns all trainable parameters (policy + value), in a fixed
+// deterministic order shared by every controller built over the same space.
+func (c *Controller) Params() *nn.ParamSet { return c.params }
+
+// onehotInputs builds the step-t input matrix for a batch of episodes:
+// the one-hot of each episode's previous action, or the start token at t=0.
+func (c *Controller) onehotInputs(eps []*Episode, t int) *tensor.Tensor {
+	x := tensor.New(len(eps), c.inWidth)
+	for i, ep := range eps {
+		if t == 0 {
+			x.Set(1, i, c.inWidth-1) // start token
+		} else {
+			x.Set(1, i, ep.Choices[t-1])
+		}
+	}
+	return x
+}
+
+// Sample draws m architectures from the current policy, recording the old
+// log-probabilities PPO needs. Rewards are left zero for the caller to fill.
+func (c *Controller) Sample(m int) []*Episode {
+	if m <= 0 {
+		panic("rl: Sample needs m > 0")
+	}
+	T := c.Space.NumDecisions()
+	eps := make([]*Episode, m)
+	for i := range eps {
+		eps[i] = &Episode{Choices: make([]int, T), OldLogP: make([]float64, T)}
+	}
+	c.policy.ResetCache()
+	h, cs := c.policy.ZeroState(m)
+	for t := 0; t < T; t++ {
+		x := c.onehotInputs(eps, t)
+		h, cs = c.policy.Step(x, h, cs)
+		logits := c.heads[t].Forward(h, false)
+		probs := tensor.RowSoftmax(logits)
+		k := c.Space.NumChoices(t)
+		for i := range eps {
+			row := probs.Data[i*k : (i+1)*k]
+			a := c.rand.Categorical(row)
+			eps[i].Choices[t] = a
+			eps[i].OldLogP[t] = math.Log(math.Max(row[a], 1e-12))
+		}
+	}
+	c.policy.ResetCache()
+	return eps
+}
+
+// Greedy returns the argmax architecture of the current policy, useful for
+// reporting what the agent has converged to.
+func (c *Controller) Greedy() []int {
+	T := c.Space.NumDecisions()
+	ep := &Episode{Choices: make([]int, T)}
+	eps := []*Episode{ep}
+	c.policy.ResetCache()
+	h, cs := c.policy.ZeroState(1)
+	for t := 0; t < T; t++ {
+		x := c.onehotInputs(eps, t)
+		h, cs = c.policy.Step(x, h, cs)
+		logits := c.heads[t].Forward(h, false)
+		ep.Choices[t] = tensor.ArgmaxRows(logits)[0]
+	}
+	c.policy.ResetCache()
+	return ep.Choices
+}
+
+// GradientStats reports diagnostics of the last ComputeGradient call.
+type GradientStats struct {
+	PolicyLoss   float64
+	ValueLoss    float64
+	Entropy      float64
+	MeanClipFrac float64 // fraction of (episode, step) ratios clipped
+}
+
+// ComputeGradient runs one PPO epoch over the batch: it fills the parameter
+// gradients with ∇θ[-J(θ)] (so that descending minimizes the negative
+// clipped surrogate plus value loss minus entropy bonus) and returns them as
+// a flat vector alongside diagnostics. It does not update parameters.
+func (c *Controller) ComputeGradient(eps []*Episode) ([]float64, GradientStats) {
+	if len(eps) == 0 {
+		panic("rl: ComputeGradient with empty batch")
+	}
+	m := len(eps)
+	T := c.Space.NumDecisions()
+	c.params.ZeroGrad()
+
+	// Value forward pass: V(s_t) for every episode and step.
+	c.value.ResetCache()
+	vh, vc := c.value.ZeroState(m)
+	values := make([]*tensor.Tensor, T)
+	vHeads := make([]*nn.Dense, T)
+	for t := 0; t < T; t++ {
+		x := c.onehotInputs(eps, t)
+		vh, vc = c.value.Step(x, vh, vc)
+		// The scalar head is shared across steps; clone the layer wrapper
+		// per step so each keeps its own forward cache for backprop.
+		head := nn.NewDenseShared(c.valueHead.W, c.valueHead.B, nn.ActLinear)
+		values[t] = head.Forward(vh, true)
+		vHeads[t] = head
+	}
+
+	// Advantages: terminal reward minus the per-step value baseline,
+	// normalized over the batch (standard PPO practice).
+	adv := make([][]float64, m)
+	var advMean float64
+	for i, ep := range eps {
+		adv[i] = make([]float64, T)
+		for t := 0; t < T; t++ {
+			adv[i][t] = ep.Reward - values[t].At(i, 0)
+			advMean += adv[i][t]
+		}
+	}
+	n := float64(m * T)
+	advMean /= n
+	var advVar float64
+	for i := range adv {
+		for t := range adv[i] {
+			d := adv[i][t] - advMean
+			advVar += d * d
+		}
+	}
+	advStd := math.Sqrt(advVar/n) + 1e-8
+	for i := range adv {
+		for t := range adv[i] {
+			adv[i][t] = (adv[i][t] - advMean) / advStd
+		}
+	}
+
+	// Policy forward pass with caches for backprop.
+	c.policy.ResetCache()
+	ph, pc := c.policy.ZeroState(m)
+	probs := make([]*tensor.Tensor, T)
+	for t := 0; t < T; t++ {
+		x := c.onehotInputs(eps, t)
+		ph, pc = c.policy.Step(x, ph, pc)
+		logits := c.heads[t].Forward(ph, true)
+		probs[t] = tensor.RowSoftmax(logits)
+	}
+
+	var st GradientStats
+	clipped := 0
+	// dLogits per step, from the clipped surrogate and the entropy bonus.
+	dLogits := make([]*tensor.Tensor, T)
+	for t := 0; t < T; t++ {
+		k := c.Space.NumChoices(t)
+		dl := tensor.New(m, k)
+		for i, ep := range eps {
+			row := probs[t].Data[i*k : (i+1)*k]
+			a := ep.Choices[t]
+			logp := math.Log(math.Max(row[a], 1e-12))
+			ratio := math.Exp(logp - ep.OldLogP[t])
+			A := adv[i][t]
+			// Clipped surrogate J = min(r·A, clip(r)·A). Its gradient
+			// w.r.t. logp is r·A when unclipped and 0 when the clipped
+			// branch is active (clip(r) is constant in θ there).
+			unclipped := ratio * A
+			lo, hi := 1-c.Cfg.Clip, 1+c.Cfg.Clip
+			cr := math.Min(math.Max(ratio, lo), hi)
+			clippedObj := cr * A
+			obj := math.Min(unclipped, clippedObj)
+			st.PolicyLoss -= obj / n
+			dObjDLogp := 0.0
+			if unclipped <= clippedObj {
+				dObjDLogp = ratio * A
+			} else {
+				clipped++
+			}
+			// d(-J)/dlogits = -dObjDLogp * dlogp/dlogits; with softmax,
+			// dlogp_a/dlogits_j = δ_aj - p_j.
+			// Entropy H = -Σ p log p; maximize → subtract β·dH/dlogits.
+			var H float64
+			for _, p := range row {
+				if p > 0 {
+					H -= p * math.Log(p)
+				}
+			}
+			st.Entropy += H / n
+			g := dl.Data[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				ind := 0.0
+				if j == a {
+					ind = 1
+				}
+				g[j] = -dObjDLogp * (ind - row[j]) / n
+				// Entropy gradient via logits: dH/dlogits_j =
+				// -p_j (log p_j + H)... using H = -Σ p log p:
+				// dH/dz_j = -p_j*(log p_j + H).
+				if row[j] > 0 {
+					g[j] += c.Cfg.EntropyCoef * row[j] * (math.Log(row[j]) + H) / n
+				}
+			}
+		}
+		dLogits[t] = dl
+	}
+	st.MeanClipFrac = float64(clipped) / n
+
+	// Backprop policy: heads then BPTT.
+	var dh, dc *tensor.Tensor
+	for t := T - 1; t >= 0; t-- {
+		g := c.heads[t].Backward(dLogits[t])
+		if dh != nil {
+			tensor.AddInPlace(g, dh)
+		}
+		_, dh, dc = c.policy.BackwardStep(g, dc)
+	}
+
+	// Value loss: 0.5-weighted MSE of V(s_t) against the terminal reward.
+	var dvh, dvc *tensor.Tensor
+	for t := T - 1; t >= 0; t-- {
+		dv := tensor.New(m, 1)
+		for i, ep := range eps {
+			diff := values[t].At(i, 0) - ep.Reward
+			st.ValueLoss += diff * diff / n
+			dv.Set(c.Cfg.ValueCoef*2*diff/n, i, 0)
+		}
+		g := vHeads[t].Backward(dv)
+		if dvh != nil {
+			tensor.AddInPlace(g, dvh)
+		}
+		_, dvh, dvc = c.value.BackwardStep(g, dvc)
+	}
+
+	return c.params.FlattenGrads(), st
+}
+
+// ApplyGradient installs a (possibly averaged) flat gradient and takes one
+// Adam step.
+func (c *Controller) ApplyGradient(flat []float64) {
+	c.params.SetGrads(flat)
+	c.opt.Step(c.params)
+}
+
+// Update runs the full PPO update locally (Cfg.Epochs gradient steps) with
+// no parameter-server exchange — the single-agent code path used by the
+// quickstart example and tests. Returns the stats of the last epoch.
+func (c *Controller) Update(eps []*Episode) GradientStats {
+	var st GradientStats
+	for e := 0; e < c.Cfg.Epochs; e++ {
+		var g []float64
+		g, st = c.ComputeGradient(eps)
+		c.ApplyGradient(g)
+	}
+	return st
+}
+
+// String describes the controller briefly.
+func (c *Controller) String() string {
+	return fmt.Sprintf("Controller(space=%s, decisions=%d, hidden=%d)",
+		c.Space.Name, c.Space.NumDecisions(), c.Cfg.Hidden)
+}

@@ -1,0 +1,30 @@
+package search
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteJSON saves the log to path so the analytics and post-training CLIs
+// can consume a search run produced by cmd/nas-search.
+func (l *Log) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(l, "", " ")
+	if err != nil {
+		return fmt.Errorf("search: marshal log: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadLog reads a log written by WriteJSON.
+func LoadLog(path string) (*Log, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var l Log
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("search: parse log %s: %w", path, err)
+	}
+	return &l, nil
+}

@@ -1,0 +1,57 @@
+package search
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLogJSONRoundTrip(t *testing.T) {
+	log := runSmall(t, RDM, 1)
+	path := filepath.Join(t.TempDir(), "log.json")
+	if err := log.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bench != log.Bench || got.SpaceName != log.SpaceName {
+		t.Fatalf("identity lost: %s/%s", got.Bench, got.SpaceName)
+	}
+	if len(got.Results) != len(log.Results) {
+		t.Fatalf("results %d, want %d", len(got.Results), len(log.Results))
+	}
+	for i := range got.Results {
+		a, b := got.Results[i], log.Results[i]
+		if a.Key != b.Key || a.Reward != b.Reward || a.FinishTime != b.FinishTime {
+			t.Fatalf("result %d corrupted", i)
+		}
+		if len(a.Choices) != len(b.Choices) {
+			t.Fatalf("result %d lost choices", i)
+		}
+	}
+	if got.EndTime != log.EndTime || got.Converged != log.Converged {
+		t.Fatal("run metadata corrupted")
+	}
+	// TopK works identically on the reloaded log.
+	ta, tb := got.TopK(3), log.TopK(3)
+	for i := range ta {
+		if ta[i].Key != tb[i].Key {
+			t.Fatal("TopK differs after round trip")
+		}
+	}
+}
+
+func TestLoadLogErrors(t *testing.T) {
+	if _, err := LoadLog("/does/not/exist.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLog(path); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,347 @@
+// Package search implements the paper's scalable NAS search strategies
+// (§3.2): multi-agent A3C (asynchronous advantage actor-critic with PPO),
+// A2C (its synchronous variant), and RDM (random search over the same
+// space, submitted with the same per-agent batch discipline).
+//
+// Every strategy runs N agents, each evaluating M architectures per round
+// ("workers per agent") through the Balsam-backed evaluator on a shared
+// pool of N×M simulated worker nodes. A3C/A2C agents then perform the PPO
+// update: Config.RL.Epochs gradient computations, each exchanged through
+// the parameter server (synchronously for A2C — the barrier that produces
+// the sawtooth utilization of Fig. 5 — or against a recent-gradient window
+// for A3C).
+//
+// A search ends at the virtual-time horizon, or earlier when it converges
+// the way the paper describes (§5.1): every agent keeps generating
+// architectures its own cache has already evaluated, so the search "could
+// not proceed in a meaningful way".
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"nasgo/internal/balsam"
+	"nasgo/internal/candle"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/hpc"
+	"nasgo/internal/ps"
+	"nasgo/internal/rl"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+)
+
+// Strategy names.
+const (
+	A3C = "a3c"
+	A2C = "a2c"
+	RDM = "rdm"
+)
+
+// Config parameterizes one search run.
+type Config struct {
+	Strategy string
+	// Agents is N, the number of RL agents (paper: 21 at 256 nodes).
+	Agents int
+	// WorkersPerAgent is M, the architectures each agent evaluates per
+	// round (paper: 11 at 256 nodes).
+	WorkersPerAgent int
+	// Horizon is the virtual wall-clock budget in seconds (paper: 6 h).
+	Horizon float64
+	Seed    uint64
+	// RL configures the controller (defaults are the paper's).
+	RL rl.Config
+	// Eval configures reward estimation (fidelity, timeout, epochs).
+	Eval evaluator.Config
+	// PSWindow is the A3C recent-gradient window (default 4).
+	PSWindow int
+	// PSLatency is the virtual seconds of one gradient exchange.
+	PSLatency float64
+	// UpdateCost is the virtual seconds an agent spends per PPO epoch.
+	UpdateCost float64
+	// ConvergeRounds is how many consecutive fully cached rounds every
+	// agent must produce before the search stops (default 2); 0 keeps the
+	// default, negative disables convergence stopping.
+	ConvergeRounds int
+	// EvoPopulation is the per-agent population size of the EVO strategy
+	// (default 32).
+	EvoPopulation int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Strategy == "" {
+		c.Strategy = A3C
+	}
+	if c.Agents == 0 {
+		c.Agents = 21
+	}
+	if c.WorkersPerAgent == 0 {
+		c.WorkersPerAgent = 11
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 6 * 3600
+	}
+	if c.PSWindow == 0 {
+		c.PSWindow = 4
+	}
+	if c.PSLatency == 0 {
+		c.PSLatency = 0.5
+	}
+	if c.UpdateCost == 0 {
+		c.UpdateCost = 1
+	}
+	if c.ConvergeRounds == 0 {
+		c.ConvergeRounds = 2
+	}
+	if c.EvoPopulation == 0 {
+		c.EvoPopulation = 32
+	}
+	return c
+}
+
+// Log is the analytics-facing record of one search run.
+type Log struct {
+	Bench     string
+	SpaceName string
+	Config    Config
+
+	// Results holds every reward estimation in completion order.
+	Results []*evaluator.Result
+	// Utilization is the worker-pool busy fraction per UtilBucket seconds.
+	Utilization []float64
+	UtilBucket  float64
+
+	// EndTime is the virtual time the search stopped.
+	EndTime float64
+	// Converged reports an early stop from all-cached rounds.
+	Converged bool
+	// PS reports parameter-server statistics (zero for RDM).
+	PS ps.Stats
+	// CacheHits counts cache-served evaluations.
+	CacheHits int
+	// Evaluations counts real (non-cached) evaluations.
+	Evaluations int
+}
+
+// UniqueArchitectures returns the number of distinct architectures among
+// the results — the analytics module's diversity measure.
+func (l *Log) UniqueArchitectures() int {
+	seen := map[string]bool{}
+	for _, r := range l.Results {
+		seen[r.Key] = true
+	}
+	return len(seen)
+}
+
+// TopK returns the k best non-cached results by reward (ties broken by
+// earlier finish), the paper's input to post-training selection.
+func (l *Log) TopK(k int) []*evaluator.Result {
+	best := map[string]*evaluator.Result{}
+	for _, r := range l.Results {
+		if prev, ok := best[r.Key]; !ok || r.Reward > prev.Reward {
+			best[r.Key] = r
+		}
+	}
+	all := make([]*evaluator.Result, 0, len(best))
+	for _, r := range best {
+		all = append(all, r)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Reward != all[j].Reward {
+			return all[i].Reward > all[j].Reward
+		}
+		return all[i].FinishTime < all[j].FinishTime
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// runner orchestrates one search run on its own simulator.
+type runner struct {
+	cfg     Config
+	sim     *hpc.Sim
+	service *balsam.Service
+	eval    *evaluator.Evaluator
+	psrv    *ps.Server
+	space   *space.Space
+	agents  []*agent
+	stopped bool
+	endTime float64
+	// consecutive counts, per agent, of fully cached rounds.
+	cachedRounds []int
+	converged    bool
+}
+
+// agent is one searcher's state machine: an RL controller (A3C/A2C), an
+// evolution population (EVO), or neither (RDM).
+type agent struct {
+	id      int
+	r       *runner
+	ctrl    *rl.Controller // A3C/A2C only
+	evo     *evoState      // EVO only
+	rand    *rng.Rand
+	eps     []*rl.Episode
+	pending int
+	cached  int
+}
+
+// Run executes one search and returns its log. The run is deterministic in
+// (benchmark, space, config).
+func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
+	cfg = cfg.withDefaults()
+	switch cfg.Strategy {
+	case A3C, A2C, RDM, EVO:
+	default:
+		panic(fmt.Sprintf("search: unknown strategy %q", cfg.Strategy))
+	}
+	sim := hpc.NewSim()
+	service := balsam.NewService(sim, cfg.Agents*cfg.WorkersPerAgent)
+	evalCfg := cfg.Eval
+	evalCfg.Seed = cfg.Seed ^ 0x5eed
+	ev := evaluator.New(sim, service, bench, sp, evalCfg)
+
+	r := &runner{
+		cfg:          cfg,
+		sim:          sim,
+		service:      service,
+		eval:         ev,
+		space:        sp,
+		cachedRounds: make([]int, cfg.Agents),
+	}
+	if cfg.Strategy == A3C || cfg.Strategy == A2C {
+		mode := ps.Async
+		if cfg.Strategy == A2C {
+			mode = ps.Sync
+		}
+		r.psrv = ps.NewServer(sim, ps.Config{
+			Mode: mode, Agents: cfg.Agents, Window: cfg.PSWindow, Latency: cfg.PSLatency,
+		})
+	}
+	root := rng.New(cfg.Seed)
+	for i := 0; i < cfg.Agents; i++ {
+		a := &agent{id: i, r: r, rand: root.Split()}
+		switch cfg.Strategy {
+		case A3C, A2C:
+			a.ctrl = rl.NewController(sp, root.Uint64(), cfg.RL)
+		case EVO:
+			a.evo = newEvoState(cfg.EvoPopulation, root.Split())
+		}
+		r.agents = append(r.agents, a)
+	}
+	for _, a := range r.agents {
+		a := a
+		sim.At(0, func() { a.startRound() })
+	}
+	sim.RunAll()
+	if r.endTime == 0 {
+		r.endTime = sim.Now()
+	}
+
+	log := &Log{
+		Bench:       bench.Name,
+		SpaceName:   sp.Name,
+		Config:      cfg,
+		Results:     ev.Trace,
+		Utilization: service.UtilizationSeries(60),
+		UtilBucket:  60,
+		EndTime:     r.endTime,
+		Converged:   r.converged,
+		CacheHits:   ev.CacheHits,
+		Evaluations: service.Finished(),
+	}
+	if r.psrv != nil {
+		log.PS = r.psrv.Stats()
+	}
+	return log
+}
+
+func (a *agent) startRound() {
+	r := a.r
+	if r.stopped || r.sim.Now() >= r.cfg.Horizon {
+		return
+	}
+	m := r.cfg.WorkersPerAgent
+	switch {
+	case a.ctrl != nil:
+		a.eps = a.ctrl.Sample(m)
+	case a.evo != nil:
+		a.eps = a.sampleEvo(m)
+	default:
+		a.eps = make([]*rl.Episode, m)
+		for i := range a.eps {
+			a.eps[i] = &rl.Episode{Choices: r.space.RandomChoices(a.rand)}
+		}
+	}
+	a.pending = m
+	a.cached = 0
+	for i, ep := range a.eps {
+		i, ep := i, ep
+		r.eval.Submit(a.id, ep.Choices, func(res *evaluator.Result) {
+			a.eps[i].Reward = res.Reward
+			if res.Cached {
+				a.cached++
+			}
+			a.pending--
+			if a.pending == 0 {
+				a.roundDone()
+			}
+		})
+	}
+}
+
+func (a *agent) roundDone() {
+	r := a.r
+	// Convergence accounting: a fully cached round means this agent's
+	// policy keeps regenerating architectures it has already evaluated.
+	if a.cached == len(a.eps) {
+		r.cachedRounds[a.id]++
+	} else {
+		r.cachedRounds[a.id] = 0
+	}
+	if r.cfg.ConvergeRounds > 0 && !r.stopped {
+		all := true
+		for _, c := range r.cachedRounds {
+			if c < r.cfg.ConvergeRounds {
+				all = false
+				break
+			}
+		}
+		if all {
+			r.stopped = true
+			r.converged = true
+			r.endTime = r.sim.Now()
+		}
+	}
+	if a.evo != nil {
+		a.evoRoundDone(a.eps)
+		return
+	}
+	if a.ctrl == nil {
+		// RDM: no learning; begin the next batch after a short
+		// resubmission latency (Balsam database round-trip). The delay
+		// also guarantees virtual time advances even on all-cached
+		// rounds, so the event loop always terminates.
+		r.sim.At(1, func() { a.startRound() })
+		return
+	}
+	a.ppoEpoch(0)
+}
+
+// ppoEpoch runs PPO epoch k: compute the gradient, exchange it through the
+// parameter server, apply the average, recurse.
+func (a *agent) ppoEpoch(k int) {
+	r := a.r
+	if k >= a.ctrl.Cfg.Epochs {
+		a.startRound()
+		return
+	}
+	grad, _ := a.ctrl.ComputeGradient(a.eps)
+	r.psrv.Exchange(a.id, grad, func(avg []float64) {
+		r.sim.At(r.cfg.UpdateCost, func() {
+			a.ctrl.ApplyGradient(avg)
+			a.ppoEpoch(k + 1)
+		})
+	})
+}

@@ -1,0 +1,382 @@
+package space
+
+import (
+	"fmt"
+
+	"nasgo/internal/data"
+	"nasgo/internal/nn"
+)
+
+// MLPNodeOps returns the paper's MLP_Node option set (§3.1.1): Identity,
+// Dense(x, y) for x ∈ {100, 500, 1000} × y ∈ {relu, tanh, sigmoid}, and
+// Dropout(r) for r ∈ {0.05, 0.1, 0.2} — 13 options.
+func MLPNodeOps() []Op {
+	ops := []Op{IdentityOp{}}
+	for _, cfg := range []struct {
+		units int
+		rate  float64
+	}{{100, 0.05}, {500, 0.1}, {1000, 0.2}} {
+		for _, act := range []string{nn.ActReLU, nn.ActTanh, nn.ActSigmoid} {
+			ops = append(ops, DenseOp{Units: cfg.units, Act: act})
+		}
+		ops = append(ops, DropoutOp{Rate: cfg.rate})
+	}
+	return ops
+}
+
+func mlpNode(name string) *VariableNode { return NewVariableNode(name, MLPNodeOps()...) }
+
+func mlpChain(prefix string, n int) []Node {
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = mlpNode(fmt.Sprintf("%s.N%d", prefix, i))
+	}
+	return nodes
+}
+
+func mirrorChain(prefix string, targets []Node) []Node {
+	nodes := make([]Node, len(targets))
+	for i, t := range targets {
+		v, ok := t.(*VariableNode)
+		if !ok {
+			panic("space: mirror target must be a VariableNode")
+		}
+		nodes[i] = &MirrorNode{Name: fmt.Sprintf("%s.M%d", prefix, i), Target: v}
+	}
+	return nodes
+}
+
+func mustValidate(s *Space) *Space {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+var comboInputs = []InputSpec{
+	{Name: "cell.expression", PaperDim: data.ComboCellDim},
+	{Name: "drug1.descriptors", PaperDim: data.ComboDrugDim},
+	{Name: "drug2.descriptors", PaperDim: data.ComboDrugDim},
+}
+
+// comboConnectSmall is the §3.1.1 small-space Connect option set: Null, Cell
+// expression, Drug 1 descriptors, Drug 2 descriptors, Cell 1 output, Inputs,
+// Cell expression & Drug 1, Cell expression & Drug 2, Drug 1 & 2 — 9 options.
+func comboConnectSmall() []Op {
+	ce := Source{Kind: SrcInput, Index: 0}
+	d1 := Source{Kind: SrcInput, Index: 1}
+	d2 := Source{Kind: SrcInput, Index: 2}
+	return []Op{
+		ConnectOp{},                                                   // Null
+		ConnectOp{Sources: []Source{ce}},                              // Cell expression
+		ConnectOp{Sources: []Source{d1}},                              // Drug 1 descriptors
+		ConnectOp{Sources: []Source{d2}},                              // Drug 2 descriptors
+		ConnectOp{Sources: []Source{{Kind: SrcCellOutput, Index: 0}}}, // Cell 1 output
+		ConnectOp{Sources: []Source{{Kind: SrcAllInputs}}},            // Inputs
+		ConnectOp{Sources: []Source{ce, d1}},
+		ConnectOp{Sources: []Source{ce, d2}},
+		ConnectOp{Sources: []Source{d1, d2}},
+	}
+}
+
+// NewComboSmall builds the small Combo search space (§3.1.1): cells C0
+// (three blocks: cell-expression MLP chain, drug-1 MLP chain, drug-2 mirror
+// chain sharing drug-1's submodel), C1 (MLP chain + Connect block), and C2
+// (MLP chain); all cell outputs are concatenated into the scalar head.
+// Size: 13^12 × 9 ≈ 2.0968×10^14.
+func NewComboSmall() *Space {
+	c0b1 := mlpChain("C0.B1", 3)
+	s := &Space{
+		Name:           "combo-small",
+		Benchmark:      "Combo",
+		Inputs:         comboInputs,
+		ConcatAllCells: true,
+		OutputUnits:    1,
+		Cells: []*Cell{
+			{Name: "C0", Blocks: []*Block{
+				{Name: "C0.B0", InputKind: FromModelInput, InputIndex: 0, Nodes: mlpChain("C0.B0", 3)},
+				{Name: "C0.B1", InputKind: FromModelInput, InputIndex: 1, Nodes: c0b1},
+				{Name: "C0.B2", InputKind: FromModelInput, InputIndex: 2, Nodes: mirrorChain("C0.B2", c0b1)},
+			}},
+			{Name: "C1", Blocks: []*Block{
+				{Name: "C1.B0", InputKind: FromPrevCell, Nodes: mlpChain("C1.B0", 3)},
+				{Name: "C1.B1", InputKind: FromNone, Nodes: []Node{
+					NewVariableNode("C1.B1.connect", comboConnectSmall()...),
+				}},
+			}},
+			{Name: "C2", Blocks: []*Block{
+				{Name: "C2.B0", InputKind: FromPrevCell, Nodes: mlpChain("C2.B0", 3)},
+			}},
+		},
+	}
+	return mustValidate(s)
+}
+
+// NewComboLarge builds the large Combo search space (§3.1.1): the middle
+// cell is replicated 8 times, and each replica's Connect options grow with
+// the outputs of the preceding cells — cell Ci (i ∈ [1,8]) offers Null, the
+// three inputs, all-inputs, and the outputs of C0..C(i-1), i.e. 5+i options.
+// Size: 13^33 × (6·7·…·13) ≈ 2.987×10^44.
+func NewComboLarge() *Space {
+	c0b1 := mlpChain("C0.B1", 3)
+	cells := []*Cell{
+		{Name: "C0", Blocks: []*Block{
+			{Name: "C0.B0", InputKind: FromModelInput, InputIndex: 0, Nodes: mlpChain("C0.B0", 3)},
+			{Name: "C0.B1", InputKind: FromModelInput, InputIndex: 1, Nodes: c0b1},
+			{Name: "C0.B2", InputKind: FromModelInput, InputIndex: 2, Nodes: mirrorChain("C0.B2", c0b1)},
+		}},
+	}
+	for i := 1; i <= 8; i++ {
+		ops := []Op{
+			ConnectOp{}, // Null
+			ConnectOp{Sources: []Source{{Kind: SrcInput, Index: 0}}},
+			ConnectOp{Sources: []Source{{Kind: SrcInput, Index: 1}}},
+			ConnectOp{Sources: []Source{{Kind: SrcInput, Index: 2}}},
+			ConnectOp{Sources: []Source{{Kind: SrcAllInputs}}},
+		}
+		for j := 0; j < i; j++ { // outputs of all previous cells
+			ops = append(ops, ConnectOp{Sources: []Source{{Kind: SrcCellOutput, Index: j}}})
+		}
+		name := fmt.Sprintf("C%d", i)
+		cells = append(cells, &Cell{Name: name, Blocks: []*Block{
+			{Name: name + ".B0", InputKind: FromPrevCell, Nodes: mlpChain(name+".B0", 3)},
+			{Name: name + ".B1", InputKind: FromNone, Nodes: []Node{
+				NewVariableNode(name+".B1.connect", ops...),
+			}},
+		}})
+	}
+	cells = append(cells, &Cell{Name: "C9", Blocks: []*Block{
+		{Name: "C9.B0", InputKind: FromPrevCell, Nodes: mlpChain("C9.B0", 3)},
+	}})
+	return mustValidate(&Space{
+		Name:           "combo-large",
+		Benchmark:      "Combo",
+		Inputs:         comboInputs,
+		Cells:          cells,
+		ConcatAllCells: true,
+		OutputUnits:    1,
+	})
+}
+
+// NewComboSmallUnshared is the mirror-node ablation variant of the small
+// Combo space: the drug-2 block searches its own three MLP nodes instead of
+// mirroring drug 1's, so the two drug encoders neither share structure nor
+// weights. Its search space is 13^3 times larger than combo-small.
+func NewComboSmallUnshared() *Space {
+	s := NewComboSmall()
+	s.Name = "combo-small-unshared"
+	s.Cells[0].Blocks[2].Nodes = mlpChain("C0.B2", 3)
+	return mustValidate(s)
+}
+
+var unoInputs = []InputSpec{
+	{Name: "cell.rna-seq", PaperDim: data.UnoRNADim},
+	{Name: "dose", PaperDim: data.UnoDoseDim},
+	{Name: "drug.descriptors", PaperDim: data.UnoDescDim},
+	{Name: "drug.fingerprints", PaperDim: data.UnoFPDim},
+}
+
+// unoC0 builds Uno's first cell: four feature-encoding blocks, one per
+// input. The dose input (a single scalar) passes through constant identity
+// nodes — it needs no feature encoding, and this is what reconciles the
+// §3.1.2 description ("each block has three MLP_Nodes") with the reported
+// space size of ≈2.3298×10^13, which is exactly 13^12 (twelve variable
+// nodes, i.e. three blocks' worth, not four).
+func unoC0() *Cell {
+	doseNodes := []Node{
+		&ConstantNode{Name: "C0.B1.N0", Op: IdentityOp{}},
+		&ConstantNode{Name: "C0.B1.N1", Op: IdentityOp{}},
+		&ConstantNode{Name: "C0.B1.N2", Op: IdentityOp{}},
+	}
+	return &Cell{Name: "C0", Blocks: []*Block{
+		{Name: "C0.B0", InputKind: FromModelInput, InputIndex: 0, Nodes: mlpChain("C0.B0", 3)},
+		{Name: "C0.B1", InputKind: FromModelInput, InputIndex: 1, Nodes: doseNodes},
+		{Name: "C0.B2", InputKind: FromModelInput, InputIndex: 2, Nodes: mlpChain("C0.B2", 3)},
+		{Name: "C0.B3", InputKind: FromModelInput, InputIndex: 3, Nodes: mlpChain("C0.B3", 3)},
+	}}
+}
+
+// NewUnoSmall builds the small Uno search space (§3.1.2): cell C0 encodes
+// the four inputs (dose passes through), and cell C1 is a residual block of
+// five nodes where N2 and N4 are ConstantNode Adds — N2 = N1 + N0 and
+// N4 = N3 + N2. Size: 13^12 ≈ 2.3298×10^13.
+func NewUnoSmall() *Space {
+	c1 := &Cell{Name: "C1", Blocks: []*Block{
+		{Name: "C1.B0", InputKind: FromPrevCell, Nodes: []Node{
+			mlpNode("C1.B0.N0"),
+			mlpNode("C1.B0.N1"),
+			&ConstantNode{Name: "C1.B0.N2", Op: AddSkipOp{From: 0}},
+			mlpNode("C1.B0.N3"),
+			&ConstantNode{Name: "C1.B0.N4", Op: AddSkipOp{From: 2}},
+		}},
+	}}
+	return mustValidate(&Space{
+		Name:        "uno-small",
+		Benchmark:   "Uno",
+		Inputs:      unoInputs,
+		Cells:       []*Cell{unoC0(), c1},
+		OutputUnits: 1,
+	})
+}
+
+// unoConnectLarge builds cell Ci's Connect options in the large Uno space
+// (§3.1.2): Null, all 15 non-empty input combinations, the outputs of the
+// previous cells except C0, and the N0 nodes of the previous cells except
+// C0 — 16 + 2(i-1) options for cell Ci.
+func unoConnectLarge(i int) []Op {
+	ops := []Op{ConnectOp{}} // Null
+	// All non-empty subsets of the four inputs, in a fixed canonical order.
+	for mask := 1; mask < 16; mask++ {
+		var srcs []Source
+		for bit := 0; bit < 4; bit++ {
+			if mask&(1<<bit) != 0 {
+				srcs = append(srcs, Source{Kind: SrcInput, Index: bit})
+			}
+		}
+		ops = append(ops, ConnectOp{Sources: srcs})
+	}
+	for j := 1; j < i; j++ { // outputs of previous cells except C0
+		ops = append(ops, ConnectOp{Sources: []Source{{Kind: SrcCellOutput, Index: j}}})
+	}
+	for j := 1; j < i; j++ { // N0 of previous cells except C0
+		ops = append(ops, ConnectOp{Sources: []Source{{Kind: SrcCellN0, Index: j}}})
+	}
+	return ops
+}
+
+// NewUnoLarge builds the large Uno search space (§3.1.2): C0 as in the
+// small space, then eight cells each holding one MLP node and one Connect
+// node with options that grow with the cell index.
+// Size: 13^17 × (16·18·…·30) ≈ 5.75×10^29 (the paper reports 5.7408×10^29;
+// see EXPERIMENTS.md for the <0.1%% reading difference).
+func NewUnoLarge() *Space {
+	cells := []*Cell{unoC0()}
+	for i := 1; i <= 8; i++ {
+		name := fmt.Sprintf("C%d", i)
+		cells = append(cells, &Cell{Name: name, Blocks: []*Block{
+			{Name: name + ".B0", InputKind: FromPrevCell, Nodes: []Node{mlpNode(name + ".B0.N0")}},
+			{Name: name + ".B1", InputKind: FromNone, Nodes: []Node{
+				NewVariableNode(name+".B1.connect", unoConnectLarge(i)...),
+			}},
+		}})
+	}
+	return mustValidate(&Space{
+		Name:        "uno-large",
+		Benchmark:   "Uno",
+		Inputs:      unoInputs,
+		Cells:       cells,
+		OutputUnits: 1,
+	})
+}
+
+// NT3 node option sets (§3.1.3).
+
+// NT3ConvOps returns the Conv_Node options: Identity plus Conv1D(k) for
+// k ∈ {3,4,5,6} with 8 filters and stride 1.
+func NT3ConvOps() []Op {
+	ops := []Op{IdentityOp{}}
+	for _, k := range []int{3, 4, 5, 6} {
+		ops = append(ops, Conv1DOp{Kernel: k, Filters: 8, Stride: 1})
+	}
+	return ops
+}
+
+// NT3ActOps returns the Act_Node options.
+func NT3ActOps() []Op {
+	return []Op{
+		IdentityOp{},
+		ActivationOp{Kind: nn.ActReLU},
+		ActivationOp{Kind: nn.ActTanh},
+		ActivationOp{Kind: nn.ActSigmoid},
+	}
+}
+
+// NT3PoolOps returns the Pool_Node options.
+func NT3PoolOps() []Op {
+	ops := []Op{IdentityOp{}}
+	for _, p := range []int{3, 4, 5, 6} {
+		ops = append(ops, MaxPool1DOp{Pool: p})
+	}
+	return ops
+}
+
+// NT3DenseOps returns the Dense_Node options (linear activation; the
+// following Act_Node chooses the nonlinearity).
+func NT3DenseOps() []Op {
+	ops := []Op{IdentityOp{}}
+	for _, u := range []int{10, 50, 100, 200, 250, 500, 750, 1000} {
+		ops = append(ops, DenseOp{Units: u, Act: nn.ActLinear})
+	}
+	return ops
+}
+
+// NT3DropOps returns the Drop_Node options.
+func NT3DropOps() []Op {
+	ops := []Op{IdentityOp{}}
+	for _, r := range []float64{0.5, 0.4, 0.3, 0.2, 0.1, 0.05} {
+		ops = append(ops, DropoutOp{Rate: r})
+	}
+	return ops
+}
+
+// NewNT3Small builds the small NT3 search space (§3.1.3): two convolutional
+// cells (Conv, Act, Pool) followed by two dense cells (Dense, Act, Dropout).
+// Size: (5·4·5)² × (9·4·7)² = 6.3504×10^8.
+func NewNT3Small() *Space {
+	convCell := func(name string, first bool) *Cell {
+		b := &Block{Name: name + ".B0", InputKind: FromPrevCell, Nodes: []Node{
+			NewVariableNode(name+".conv", NT3ConvOps()...),
+			NewVariableNode(name+".act", NT3ActOps()...),
+			NewVariableNode(name+".pool", NT3PoolOps()...),
+		}}
+		if first {
+			b.InputKind = FromModelInput
+			b.InputIndex = 0
+		}
+		return &Cell{Name: name, Blocks: []*Block{b}}
+	}
+	denseCell := func(name string) *Cell {
+		return &Cell{Name: name, Blocks: []*Block{
+			{Name: name + ".B0", InputKind: FromPrevCell, Nodes: []Node{
+				NewVariableNode(name+".dense", NT3DenseOps()...),
+				NewVariableNode(name+".act", NT3ActOps()...),
+				NewVariableNode(name+".drop", NT3DropOps()...),
+			}},
+		}}
+	}
+	return mustValidate(&Space{
+		Name:      "nt3-small",
+		Benchmark: "NT3",
+		Inputs:    []InputSpec{{Name: "rna-seq.gene-expression", PaperDim: data.NT3InputDim}},
+		Cells: []*Cell{
+			convCell("C0", true),
+			convCell("C1", false),
+			denseCell("C2"),
+			denseCell("C3"),
+		},
+		OutputUnits: data.NT3Classes,
+	})
+}
+
+// ByName returns the catalog space with the given name.
+func ByName(name string) (*Space, error) {
+	switch name {
+	case "combo-small":
+		return NewComboSmall(), nil
+	case "combo-large":
+		return NewComboLarge(), nil
+	case "uno-small":
+		return NewUnoSmall(), nil
+	case "uno-large":
+		return NewUnoLarge(), nil
+	case "nt3-small":
+		return NewNT3Small(), nil
+	default:
+		return nil, fmt.Errorf("space: unknown catalog space %q (have combo-small, combo-large, uno-small, uno-large, nt3-small)", name)
+	}
+}
+
+// CatalogNames lists the available benchmark spaces.
+func CatalogNames() []string {
+	return []string{"combo-small", "combo-large", "uno-small", "uno-large", "nt3-small"}
+}

@@ -1,0 +1,140 @@
+// Package space implements the paper's graph-structured neural architecture
+// search space formalism (§3.1) — the primary contribution of the paper
+// alongside the scalable RL search.
+//
+// A search space is a Structure of Cells; a Cell holds Blocks; a Block is a
+// sequence of nodes. Nodes are VariableNodes (a set of candidate operations,
+// one decision each), ConstantNodes (a fixed operation, excluded from the
+// search space but present in every generated architecture — the domain-
+// knowledge hook), or MirrorNodes (reuse of another node's chosen operation
+// AND its trained weights — the weight-sharing hook used for Combo's paired
+// drug descriptors).
+//
+// An architecture is a vector of choices, one per VariableNode in traversal
+// order. Compilation goes through an intermediate representation (ArchIR)
+// from which both a trainable nn.Model (at scaled dimensions) and analytic
+// parameter/FLOP counts (at full paper dimensions) are derived, guaranteeing
+// the two never disagree about what the architecture is.
+package space
+
+import "fmt"
+
+// Op is one candidate operation of a node. The concrete types below cover
+// every primitive used by the paper's Combo, Uno, and NT3 spaces.
+type Op interface {
+	// OpName returns the canonical operation label, e.g. "Dense(1000, relu)".
+	OpName() string
+}
+
+// IdentityOp passes the node input through unchanged.
+type IdentityOp struct{}
+
+func (IdentityOp) OpName() string { return "Identity" }
+
+// DenseOp is a fully connected layer with the given units and activation.
+type DenseOp struct {
+	Units int
+	Act   string
+}
+
+func (o DenseOp) OpName() string { return fmt.Sprintf("Dense(%d, %s)", o.Units, o.Act) }
+
+// DropoutOp drops the given fraction of units during training.
+type DropoutOp struct {
+	Rate float64
+}
+
+func (o DropoutOp) OpName() string { return fmt.Sprintf("Dropout(%g)", o.Rate) }
+
+// Conv1DOp is a 1-D convolution; NT3 fixes filters=8 and stride=1 and
+// searches over the kernel size (§3.1.3).
+type Conv1DOp struct {
+	Kernel  int
+	Filters int
+	Stride  int
+}
+
+func (o Conv1DOp) OpName() string { return fmt.Sprintf("Conv1D(%d)", o.Kernel) }
+
+// ActivationOp applies a standalone activation function.
+type ActivationOp struct {
+	Kind string
+}
+
+func (o ActivationOp) OpName() string { return fmt.Sprintf("Activation(%s)", o.Kind) }
+
+// MaxPool1DOp is a max-pooling layer; stride defaults to the pool size.
+type MaxPool1DOp struct {
+	Pool int
+}
+
+func (o MaxPool1DOp) OpName() string { return fmt.Sprintf("MaxPooling1D(%d)", o.Pool) }
+
+// AddSkipOp is the ConstantNode operation of the Uno space: elementwise
+// addition of the previous node's output and the output of an earlier node
+// in the same block (From, an index into the block's node list; -1 means the
+// block input), forming a residual connection.
+type AddSkipOp struct {
+	From int
+}
+
+func (o AddSkipOp) OpName() string { return fmt.Sprintf("Add(from=%d)", o.From) }
+
+// Source identifies one tensor a ConnectOp can draw from.
+type Source struct {
+	Kind SourceKind
+	// Index selects the model input (SrcInput), the cell (SrcCellOutput,
+	// SrcCellN0), by position in the structure.
+	Index int
+}
+
+// SourceKind enumerates connectable tensors.
+type SourceKind int
+
+const (
+	// SrcInput is the model input with the given index.
+	SrcInput SourceKind = iota
+	// SrcAllInputs is the concatenation of every model input.
+	SrcAllInputs
+	// SrcCellOutput is the output of the cell with the given index.
+	SrcCellOutput
+	// SrcCellN0 is the output of the first node of block 0 of the cell
+	// with the given index (the Uno large space's "N0 of previous cells").
+	SrcCellN0
+)
+
+func (s Source) String() string {
+	switch s.Kind {
+	case SrcInput:
+		return fmt.Sprintf("input[%d]", s.Index)
+	case SrcAllInputs:
+		return "inputs"
+	case SrcCellOutput:
+		return fmt.Sprintf("cell[%d]", s.Index)
+	case SrcCellN0:
+		return fmt.Sprintf("cell[%d].N0", s.Index)
+	default:
+		return "?"
+	}
+}
+
+// ConnectOp creates skip connections: the node output is the concatenation
+// of the selected sources. An empty source list is the paper's "Null"
+// option — the block contributes nothing to the cell output.
+type ConnectOp struct {
+	Sources []Source
+}
+
+func (o ConnectOp) OpName() string {
+	if len(o.Sources) == 0 {
+		return "Connect(Null)"
+	}
+	s := "Connect("
+	for i, src := range o.Sources {
+		if i > 0 {
+			s += " & "
+		}
+		s += src.String()
+	}
+	return s + ")"
+}

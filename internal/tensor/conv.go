@@ -1,0 +1,180 @@
+package tensor
+
+import "fmt"
+
+// Conv1D computes a 1-D "valid" convolution (really cross-correlation, as in
+// Keras) over x of shape [batch, length, inChannels] with kernel w of shape
+// [kernel, inChannels, outChannels] and bias b of shape [outChannels]. The
+// output has shape [batch, outLen, outChannels] with
+// outLen = (length-kernel)/stride + 1. A nil bias is treated as zeros.
+func Conv1D(x, w, b *Tensor, stride int) *Tensor {
+	if x.Rank() != 3 || w.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Conv1D requires rank-3 x and w, got %v, %v", x.Shape, w.Shape))
+	}
+	if stride < 1 {
+		panic("tensor: Conv1D stride must be >= 1")
+	}
+	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kernel, cin2, cout := w.Shape[0], w.Shape[1], w.Shape[2]
+	if cin != cin2 {
+		panic(fmt.Sprintf("tensor: Conv1D channel mismatch x=%v w=%v", x.Shape, w.Shape))
+	}
+	if b != nil && (b.Rank() != 1 || b.Shape[0] != cout) {
+		panic(fmt.Sprintf("tensor: Conv1D bias shape %v, want [%d]", b.Shape, cout))
+	}
+	if length < kernel {
+		panic(fmt.Sprintf("tensor: Conv1D input length %d shorter than kernel %d", length, kernel))
+	}
+	outLen := (length-kernel)/stride + 1
+	out := New(batch, outLen, cout)
+	work := func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			xb := x.Data[n*length*cin : (n+1)*length*cin]
+			ob := out.Data[n*outLen*cout : (n+1)*outLen*cout]
+			for t := 0; t < outLen; t++ {
+				orow := ob[t*cout : (t+1)*cout]
+				if b != nil {
+					copy(orow, b.Data)
+				}
+				start := t * stride
+				for k := 0; k < kernel; k++ {
+					xrow := xb[(start+k)*cin : (start+k+1)*cin]
+					wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
+					for c := 0; c < cin; c++ {
+						xv := xrow[c]
+						if xv == 0 {
+							continue
+						}
+						wr := wrow[c*cout : (c+1)*cout]
+						for o, wv := range wr {
+							orow[o] += xv * wv
+						}
+					}
+				}
+			}
+		}
+	}
+	parallelRows(batch, batch*outLen*cout*kernel*cin, work)
+	return out
+}
+
+// Conv1DBackward computes the gradients of a Conv1D call. dout has the
+// output shape [batch, outLen, outChannels]; the returned dx, dw, db match
+// the shapes of x, w, and the bias respectively.
+func Conv1DBackward(x, w, dout *Tensor, stride int) (dx, dw, db *Tensor) {
+	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kernel, _, cout := w.Shape[0], w.Shape[1], w.Shape[2]
+	outLen := dout.Shape[1]
+	dx = New(batch, length, cin)
+	dw = New(kernel, cin, cout)
+	db = New(cout)
+	// Bias and weight gradients accumulate across the batch; keep them
+	// single-threaded (they are small) and parallelize dx over the batch.
+	for n := 0; n < batch; n++ {
+		xb := x.Data[n*length*cin : (n+1)*length*cin]
+		gb := dout.Data[n*outLen*cout : (n+1)*outLen*cout]
+		for t := 0; t < outLen; t++ {
+			grow := gb[t*cout : (t+1)*cout]
+			for o, gv := range grow {
+				db.Data[o] += gv
+			}
+			start := t * stride
+			for k := 0; k < kernel; k++ {
+				xrow := xb[(start+k)*cin : (start+k+1)*cin]
+				dwrow := dw.Data[k*cin*cout : (k+1)*cin*cout]
+				for c := 0; c < cin; c++ {
+					xv := xrow[c]
+					if xv == 0 {
+						continue
+					}
+					dwr := dwrow[c*cout : (c+1)*cout]
+					for o, gv := range grow {
+						dwr[o] += xv * gv
+					}
+				}
+			}
+		}
+	}
+	work := func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			dxb := dx.Data[n*length*cin : (n+1)*length*cin]
+			gb := dout.Data[n*outLen*cout : (n+1)*outLen*cout]
+			for t := 0; t < outLen; t++ {
+				grow := gb[t*cout : (t+1)*cout]
+				start := t * stride
+				for k := 0; k < kernel; k++ {
+					dxrow := dxb[(start+k)*cin : (start+k+1)*cin]
+					wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
+					for c := 0; c < cin; c++ {
+						wr := wrow[c*cout : (c+1)*cout]
+						var s float64
+						for o, gv := range grow {
+							s += gv * wr[o]
+						}
+						dxrow[c] += s
+					}
+				}
+			}
+		}
+	}
+	parallelRows(batch, batch*outLen*cout*kernel*cin, work)
+	return dx, dw, db
+}
+
+// MaxPool1D computes max pooling over x of shape [batch, length, channels]
+// with the given pool size and stride (Keras defaults stride to the pool
+// size). It returns the pooled tensor of shape [batch, outLen, channels] and
+// the flat argmax indices into x.Data used by MaxPool1DBackward.
+func MaxPool1D(x *Tensor, pool, stride int) (*Tensor, []int) {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: MaxPool1D requires rank-3 input, got %v", x.Shape))
+	}
+	if pool < 1 || stride < 1 {
+		panic("tensor: MaxPool1D pool and stride must be >= 1")
+	}
+	batch, length, ch := x.Shape[0], x.Shape[1], x.Shape[2]
+	if length < pool {
+		panic(fmt.Sprintf("tensor: MaxPool1D input length %d shorter than pool %d", length, pool))
+	}
+	outLen := (length-pool)/stride + 1
+	out := New(batch, outLen, ch)
+	arg := make([]int, batch*outLen*ch)
+	for n := 0; n < batch; n++ {
+		for t := 0; t < outLen; t++ {
+			start := t * stride
+			for c := 0; c < ch; c++ {
+				bestIdx := n*length*ch + start*ch + c
+				best := x.Data[bestIdx]
+				for k := 1; k < pool; k++ {
+					idx := n*length*ch + (start+k)*ch + c
+					if x.Data[idx] > best {
+						best = x.Data[idx]
+						bestIdx = idx
+					}
+				}
+				o := n*outLen*ch + t*ch + c
+				out.Data[o] = best
+				arg[o] = bestIdx
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool1DBackward scatters dout back through the argmax indices returned
+// by MaxPool1D, producing a gradient with the shape of the original input.
+func MaxPool1DBackward(xShape []int, arg []int, dout *Tensor) *Tensor {
+	dx := New(xShape...)
+	for o, idx := range arg {
+		dx.Data[idx] += dout.Data[o]
+	}
+	return dx
+}
+
+// Flatten2D reshapes [batch, a, b] to [batch, a*b] (a copy-free view).
+func Flatten2D(x *Tensor) *Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Flatten2D requires rank 3, got %v", x.Shape))
+	}
+	return x.Reshape(x.Shape[0], x.Shape[1]*x.Shape[2])
+}

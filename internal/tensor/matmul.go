@@ -1,0 +1,199 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of multiply-accumulate operations
+// below which MatMul stays single-threaded; spawning goroutines for tiny
+// products costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// blockK is the k-dimension blocking factor. Row-major A×B walks B row by
+// row; blocking over k keeps the working set of B rows hot in cache.
+const blockK = 128
+
+// MatMul returns A×B for rank-2 tensors of shapes [m,k] and [k,n]. Large
+// products are split across GOMAXPROCS goroutines over row bands, the
+// standard shared-memory parallelization for dense GEMM.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires rank-2 operands, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	ops := m * n * k
+	workers := runtime.GOMAXPROCS(0)
+	if ops < parallelThreshold || workers <= 1 || m == 1 {
+		matmulRows(out, a, b, 0, m)
+		return out
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(out, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// matmulRows computes rows [lo,hi) of out = a×b using an ikj loop order with
+// k-blocking: the inner j loop is a saxpy over contiguous memory, which the
+// compiler can keep in registers.
+func matmulRows(out, a, b *Tensor, lo, hi int) {
+	k, n := a.Shape[1], b.Shape[1]
+	for k0 := 0; k0 < k; k0 += blockK {
+		kMax := k0 + blockK
+		if kMax > k {
+			kMax = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for kk := k0; kk < kMax; kk++ {
+				aik := arow[kk]
+				if aik == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += aik * bv
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransB returns A×Bᵀ without materializing the transpose; A is [m,k],
+// B is [n,k], and the result is [m,n]. This is the hot path of the backward
+// pass of a Dense layer (dX = dY×Wᵀ).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires rank-2 operands, got %v, %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v × %vᵀ", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float64
+				for x, av := range arow {
+					s += av * brow[x]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	parallelRows(m, m*n*k, work)
+	return out
+}
+
+// MatMulTransA returns Aᵀ×B without materializing the transpose; A is [k,m],
+// B is [k,n], and the result is [m,n]. This is the weight-gradient path of a
+// Dense layer (dW = Xᵀ×dY).
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires rank-2 operands, got %v, %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dimension mismatch %vᵀ × %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	work := func(lo, hi int) {
+		for kk := 0; kk < k; kk++ {
+			arow := a.Data[kk*m : (kk+1)*m]
+			brow := b.Data[kk*n : (kk+1)*n]
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				orow := out.Data[i*n : (i+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	parallelRows(m, m*n*k, work)
+	return out
+}
+
+// MatVec returns A×x for A of shape [m,n] and x of shape [n].
+func MatVec(a, x *Tensor) *Tensor {
+	if a.Rank() != 2 || x.Rank() != 1 || a.Shape[1] != x.Shape[0] {
+		panic(fmt.Sprintf("tensor: MatVec shape mismatch %v × %v", a.Shape, x.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		var s float64
+		for j, v := range row {
+			s += v * x.Data[j]
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// parallelRows runs work over [0,m) split into bands across GOMAXPROCS
+// goroutines when the op count justifies it.
+func parallelRows(m, ops int, work func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if ops < parallelThreshold || workers <= 1 || m <= 1 {
+		work(0, m)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

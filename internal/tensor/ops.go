@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConcatCols concatenates rank-2 tensors with equal row counts along the
+// column axis, the operation behind the paper's Concatenate output rule.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		panic("tensor: ConcatCols of no tensors")
+	}
+	rows := ts[0].Shape[0]
+	total := 0
+	for _, t := range ts {
+		if t.Rank() != 2 {
+			panic(fmt.Sprintf("tensor: ConcatCols requires rank 2, got %v", t.Shape))
+		}
+		if t.Shape[0] != rows {
+			panic(fmt.Sprintf("tensor: ConcatCols row mismatch %d vs %d", t.Shape[0], rows))
+		}
+		total += t.Shape[1]
+	}
+	out := New(rows, total)
+	for i := 0; i < rows; i++ {
+		off := i * total
+		for _, t := range ts {
+			c := t.Shape[1]
+			copy(out.Data[off:off+c], t.Data[i*c:(i+1)*c])
+			off += c
+		}
+	}
+	return out
+}
+
+// SplitCols splits a rank-2 tensor into column blocks of the given widths,
+// the inverse of ConcatCols (used to route gradients back to the inputs of a
+// concatenation). The widths must sum to the column count.
+func SplitCols(t *Tensor, widths []int) []*Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SplitCols requires rank 2, got %v", t.Shape))
+	}
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != t.Shape[1] {
+		panic(fmt.Sprintf("tensor: SplitCols widths %v do not sum to %d", widths, t.Shape[1]))
+	}
+	rows := t.Shape[0]
+	out := make([]*Tensor, len(widths))
+	for i, w := range widths {
+		out[i] = New(rows, w)
+	}
+	for i := 0; i < rows; i++ {
+		off := i * total
+		for j, w := range widths {
+			copy(out[j].Data[i*w:(i+1)*w], t.Data[off:off+w])
+			off += w
+		}
+	}
+	return out
+}
+
+// RowSoftmax computes a numerically stable softmax over each row of a rank-2
+// tensor.
+func RowSoftmax(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowSoftmax requires rank 2, got %v", t.Shape))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		orow := out.Data[i*cols : (i+1)*cols]
+		m := row[0]
+		for _, v := range row[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := math.Exp(v - m)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// ArgmaxRows returns the index of the maximum of each row of a rank-2
+// tensor.
+func ArgmaxRows(t *Tensor) []int {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ArgmaxRows requires rank 2, got %v", t.Shape))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := make([]int, rows)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		best := 0
+		for j := 1; j < cols; j++ {
+			if row[j] > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// SliceRows returns a copy of rows [lo,hi) of a rank-2 tensor.
+func SliceRows(t *Tensor, lo, hi int) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SliceRows requires rank 2, got %v", t.Shape))
+	}
+	if lo < 0 || hi > t.Shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRows [%d,%d) out of range for %v", lo, hi, t.Shape))
+	}
+	cols := t.Shape[1]
+	out := New(hi-lo, cols)
+	copy(out.Data, t.Data[lo*cols:hi*cols])
+	return out
+}
+
+// GatherRows returns a copy of the given rows of a rank-2 tensor in order.
+func GatherRows(t *Tensor, idx []int) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GatherRows requires rank 2, got %v", t.Shape))
+	}
+	cols := t.Shape[1]
+	out := New(len(idx), cols)
+	for i, r := range idx {
+		if r < 0 || r >= t.Shape[0] {
+			panic(fmt.Sprintf("tensor: GatherRows index %d out of range %d", r, t.Shape[0]))
+		}
+		copy(out.Data[i*cols:(i+1)*cols], t.Data[r*cols:(r+1)*cols])
+	}
+	return out
+}
+
+// AddRowVector adds a length-c vector to every row of an [r,c] tensor,
+// the broadcast used when applying a bias.
+func AddRowVector(t, v *Tensor) *Tensor {
+	if t.Rank() != 2 || v.Rank() != 1 || t.Shape[1] != v.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v + %v", t.Shape, v.Shape))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		orow := out.Data[i*cols : (i+1)*cols]
+		for j, x := range row {
+			orow[j] = x + v.Data[j]
+		}
+	}
+	return out
+}
+
+// ColSums returns the per-column sums of an [r,c] tensor, the bias-gradient
+// reduction of a Dense layer.
+func ColSums(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ColSums requires rank 2, got %v", t.Shape))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := New(cols)
+	for i := 0; i < rows; i++ {
+		row := t.Data[i*cols : (i+1)*cols]
+		for j, x := range row {
+			out.Data[j] += x
+		}
+	}
+	return out
+}

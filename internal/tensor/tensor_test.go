@@ -1,0 +1,497 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nasgo/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randTensor(r *rng.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	t.Randn(r, 1)
+	return t
+}
+
+func TestNewZeroed(t *testing.T) {
+	x := New(3, 4)
+	if x.Size() != 12 {
+		t.Fatalf("size = %d, want 12", x.Size())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zeroed")
+		}
+	}
+}
+
+func TestFromSliceMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSet(t *testing.T) {
+	x := New(2, 3)
+	x.Set(5, 1, 2)
+	if x.At(1, 2) != 5 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if x.Data[1*3+2] != 5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := New(2, 3)
+	y := x.Reshape(3, 2)
+	y.Data[0] = 9
+	if x.Data[0] != 9 {
+		t.Fatal("Reshape must share data")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(2, 2)
+	y := x.Clone()
+	y.Data[0] = 1
+	if x.Data[0] != 0 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randTensor(r, 3, 5)
+		b := randTensor(r, 3, 5)
+		c := Sub(Add(a, b), b)
+		for i := range a.Data {
+			if !almostEqual(c.Data[i], a.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Add(New(2, 2), New(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randTensor(r, 4, 7)
+		b := Transpose(Transpose(a))
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func matmulNaive(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for x := 0; x < k; x++ {
+				s += a.Data[i*k+x] * b.Data[x*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {64, 33, 17}, {130, 64, 50}} {
+		a := randTensor(r, dims[0], dims[1])
+		b := randTensor(r, dims[1], dims[2])
+		got := MatMul(a, b)
+		want := matmulNaive(a, b)
+		for i := range want.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("dims %v: element %d = %g, want %g", dims, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(2)
+	a := randTensor(r, 5, 5)
+	eye := New(5, 5)
+	for i := 0; i < 5; i++ {
+		eye.Set(1, i, i)
+	}
+	got := MatMul(a, eye)
+	for i := range a.Data {
+		if !almostEqual(got.Data[i], a.Data[i], 1e-12) {
+			t.Fatal("A×I != A")
+		}
+	}
+}
+
+func TestMatMulLinearity(t *testing.T) {
+	// (A+B)×C == A×C + B×C
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randTensor(r, 4, 6)
+		b := randTensor(r, 4, 6)
+		c := randTensor(r, 6, 3)
+		lhs := MatMul(Add(a, b), c)
+		rhs := Add(MatMul(a, c), MatMul(b, c))
+		for i := range lhs.Data {
+			if !almostEqual(lhs.Data[i], rhs.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	r := rng.New(3)
+	a := randTensor(r, 6, 4)
+	b := randTensor(r, 5, 4)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose(b))
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatal("MatMulTransB disagrees with explicit transpose")
+		}
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	r := rng.New(4)
+	a := randTensor(r, 4, 6)
+	b := randTensor(r, 4, 5)
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose(a), b)
+	for i := range want.Data {
+		if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+			t.Fatal("MatMulTransA disagrees with explicit transpose")
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestMatVec(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := FromSlice([]float64{1, 1, 1}, 3)
+	got := MatVec(a, x)
+	if got.Data[0] != 6 || got.Data[1] != 15 {
+		t.Fatalf("MatVec = %v", got.Data)
+	}
+}
+
+func TestConcatSplitRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := randTensor(r, 3, 2)
+		b := randTensor(r, 3, 5)
+		c := randTensor(r, 3, 1)
+		cat := ConcatCols(a, b, c)
+		if cat.Shape[1] != 8 {
+			return false
+		}
+		parts := SplitCols(cat, []int{2, 5, 1})
+		for i := range a.Data {
+			if parts[0].Data[i] != a.Data[i] {
+				return false
+			}
+		}
+		for i := range b.Data {
+			if parts[1].Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		for i := range c.Data {
+			if parts[2].Data[i] != c.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowSoftmax(t *testing.T) {
+	x := FromSlice([]float64{1, 2, 3, 1000, 1000, 1000}, 2, 3)
+	s := RowSoftmax(x)
+	for i := 0; i < 2; i++ {
+		var sum float64
+		for j := 0; j < 3; j++ {
+			v := s.At(i, j)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("softmax element out of range: %g", v)
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-12) {
+			t.Fatalf("softmax row %d sums to %g", i, sum)
+		}
+	}
+	if s.At(0, 2) <= s.At(0, 0) {
+		t.Fatal("softmax not monotone")
+	}
+	// Row of equal logits must be uniform, even at extreme magnitude.
+	if !almostEqual(s.At(1, 0), 1.0/3, 1e-12) {
+		t.Fatal("softmax not stable for large logits")
+	}
+}
+
+func TestArgmaxRows(t *testing.T) {
+	x := FromSlice([]float64{0, 5, 1, 9, 2, 3}, 2, 3)
+	got := ArgmaxRows(x)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgmaxRows = %v", got)
+	}
+}
+
+func TestAddRowVectorColSums(t *testing.T) {
+	x := New(3, 2)
+	v := FromSlice([]float64{1, 2}, 2)
+	y := AddRowVector(x, v)
+	sums := ColSums(y)
+	if sums.Data[0] != 3 || sums.Data[1] != 6 {
+		t.Fatalf("ColSums = %v", sums.Data)
+	}
+}
+
+func TestSliceGatherRows(t *testing.T) {
+	x := FromSlice([]float64{0, 1, 10, 11, 20, 21}, 3, 2)
+	s := SliceRows(x, 1, 3)
+	if s.At(0, 0) != 10 || s.At(1, 1) != 21 {
+		t.Fatal("SliceRows wrong contents")
+	}
+	g := GatherRows(x, []int{2, 0})
+	if g.At(0, 0) != 20 || g.At(1, 1) != 1 {
+		t.Fatal("GatherRows wrong contents")
+	}
+}
+
+func conv1dNaive(x, w, b *Tensor, stride int) *Tensor {
+	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kernel, _, cout := w.Shape[0], w.Shape[1], w.Shape[2]
+	outLen := (length-kernel)/stride + 1
+	out := New(batch, outLen, cout)
+	for n := 0; n < batch; n++ {
+		for t := 0; t < outLen; t++ {
+			for o := 0; o < cout; o++ {
+				s := 0.0
+				if b != nil {
+					s = b.Data[o]
+				}
+				for k := 0; k < kernel; k++ {
+					for c := 0; c < cin; c++ {
+						s += x.At(n, t*stride+k, c) * w.At(k, c, o)
+					}
+				}
+				out.Set(s, n, t, o)
+			}
+		}
+	}
+	return out
+}
+
+func TestConv1DAgainstNaive(t *testing.T) {
+	r := rng.New(5)
+	for _, cfg := range []struct{ batch, length, cin, kernel, cout, stride int }{
+		{1, 8, 1, 3, 2, 1},
+		{2, 16, 3, 5, 4, 1},
+		{3, 20, 2, 4, 3, 2},
+	} {
+		x := randTensor(r, cfg.batch, cfg.length, cfg.cin)
+		w := randTensor(r, cfg.kernel, cfg.cin, cfg.cout)
+		b := randTensor(r, cfg.cout)
+		got := Conv1D(x, w, b, cfg.stride)
+		want := conv1dNaive(x, w, b, cfg.stride)
+		if !SameShape(got, want) {
+			t.Fatalf("cfg %+v: shape %v want %v", cfg, got.Shape, want.Shape)
+		}
+		for i := range want.Data {
+			if !almostEqual(got.Data[i], want.Data[i], 1e-9) {
+				t.Fatalf("cfg %+v: mismatch at %d", cfg, i)
+			}
+		}
+	}
+}
+
+// TestConv1DGradients checks Conv1DBackward against central finite
+// differences of a scalar loss L = sum(conv(x,w,b)).
+func TestConv1DGradients(t *testing.T) {
+	r := rng.New(6)
+	x := randTensor(r, 2, 10, 2)
+	w := randTensor(r, 3, 2, 3)
+	b := randTensor(r, 3)
+	stride := 1
+	out := Conv1D(x, w, b, stride)
+	dout := New(out.Shape...)
+	dout.Fill(1)
+	dx, dw, db := Conv1DBackward(x, w, dout, stride)
+
+	loss := func() float64 { return Conv1D(x, w, b, stride).Sum() }
+	const h = 1e-6
+	check := func(name string, param, grad *Tensor) {
+		for i := range param.Data {
+			old := param.Data[i]
+			param.Data[i] = old + h
+			lp := loss()
+			param.Data[i] = old - h
+			lm := loss()
+			param.Data[i] = old
+			fd := (lp - lm) / (2 * h)
+			if !almostEqual(fd, grad.Data[i], 1e-4) {
+				t.Fatalf("%s grad[%d] = %g, finite diff %g", name, i, grad.Data[i], fd)
+			}
+		}
+	}
+	check("dx", x, dx)
+	check("dw", w, dw)
+	check("db", b, db)
+}
+
+func TestMaxPool1D(t *testing.T) {
+	x := FromSlice([]float64{1, 5, 2, 8, 3, 0}, 1, 6, 1)
+	out, arg := MaxPool1D(x, 2, 2)
+	want := []float64{5, 8, 3}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("pool[%d] = %g, want %g", i, out.Data[i], v)
+		}
+	}
+	// Backward routes gradient to the argmax positions only.
+	dout := FromSlice([]float64{1, 1, 1}, 1, 3, 1)
+	dx := MaxPool1DBackward(x.Shape, arg, dout)
+	wantDx := []float64{0, 1, 0, 1, 1, 0}
+	for i, v := range wantDx {
+		if dx.Data[i] != v {
+			t.Fatalf("dx[%d] = %g, want %g", i, dx.Data[i], v)
+		}
+	}
+}
+
+func TestMaxPool1DIdentityPool(t *testing.T) {
+	// pool=1 stride=1 must be the identity, as used by the NT3 baseline.
+	r := rng.New(7)
+	x := randTensor(r, 2, 9, 3)
+	out, _ := MaxPool1D(x, 1, 1)
+	if !SameShape(out, x) {
+		t.Fatalf("identity pool changed shape: %v", out.Shape)
+	}
+	for i := range x.Data {
+		if out.Data[i] != x.Data[i] {
+			t.Fatal("identity pool changed values")
+		}
+	}
+}
+
+func TestMaxPoolGradientSumPreserved(t *testing.T) {
+	// The pooled gradient mass must be conserved by the scatter.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := randTensor(r, 2, 12, 2)
+		out, arg := MaxPool1D(x, 3, 3)
+		dout := New(out.Shape...)
+		dout.Randn(r, 1)
+		dx := MaxPool1DBackward(x.Shape, arg, dout)
+		return almostEqual(dx.Sum(), dout.Sum(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlorotUniformBounds(t *testing.T) {
+	r := rng.New(8)
+	w := New(100, 50)
+	w.GlorotUniform(r, 100, 50)
+	limit := math.Sqrt(6.0 / 150.0)
+	for _, v := range w.Data {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot value %g outside ±%g", v, limit)
+		}
+	}
+	if w.Norm2() == 0 {
+		t.Fatal("Glorot produced all zeros")
+	}
+}
+
+func TestNorm2Dot(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	if a.Norm2() != 5 {
+		t.Fatalf("Norm2 = %g", a.Norm2())
+	}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %g", Dot(a, a))
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 128, 128)
+	y := randTensor(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul512(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 512, 512)
+	y := randTensor(r, 512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MatMul(x, y)
+	}
+}
+
+func BenchmarkConv1D(b *testing.B) {
+	r := rng.New(1)
+	x := randTensor(r, 8, 1024, 1)
+	w := randTensor(r, 20, 1, 16)
+	bias := randTensor(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Conv1D(x, w, bias, 1)
+	}
+}

@@ -1,0 +1,138 @@
+// Package train drives supervised training of nn models on data.Datasets.
+// It is the stand-in for Keras's fit/evaluate loop: mini-batch gradient
+// descent with shuffling, a batch budget for the paper's 10-minute reward-
+// estimation timeout (the hpc cost model converts the virtual time budget
+// into a batch count), and metric evaluation (R² for the regression
+// problems, accuracy for NT3).
+package train
+
+import (
+	"fmt"
+
+	"nasgo/internal/data"
+	"nasgo/internal/nn"
+	"nasgo/internal/optim"
+	"nasgo/internal/rng"
+	"nasgo/internal/tensor"
+)
+
+// Config controls a Fit run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	// Optimizer defaults to Adam(0.001), the paper's setting.
+	Optimizer optim.Optimizer
+	// MaxBatches, when positive, stops training after that many gradient
+	// steps regardless of epochs — the mechanism behind the reward-
+	// estimation timeout. Zero means no budget.
+	MaxBatches int
+	// Rand drives shuffling (required).
+	Rand *rng.Rand
+}
+
+// Result summarizes a Fit run.
+type Result struct {
+	// EpochLosses holds the mean training loss of each completed epoch
+	// (the partial epoch, if the batch budget interrupts one, included).
+	EpochLosses []float64
+	// Batches is the number of gradient steps taken.
+	Batches int
+	// TimedOut reports whether the batch budget stopped training early.
+	TimedOut bool
+}
+
+// Fit trains the model on ds according to cfg.
+func Fit(m *nn.Model, ds *data.Dataset, cfg Config) Result {
+	if cfg.Rand == nil {
+		panic("train: Config.Rand is required")
+	}
+	if cfg.BatchSize <= 0 {
+		panic("train: BatchSize must be positive")
+	}
+	if cfg.Epochs <= 0 {
+		panic("train: Epochs must be positive")
+	}
+	opt := cfg.Optimizer
+	if opt == nil {
+		opt = optim.NewAdam(0.001)
+	}
+	n := ds.N()
+	var res Result
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := cfg.Rand.Perm(n)
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch := ds.Gather(perm[lo:hi])
+			m.ZeroGrad()
+			out := m.Forward(batch.Inputs, true)
+			var loss float64
+			var grad *tensor.Tensor
+			if batch.IsClassification() {
+				loss, grad = nn.SoftmaxCrossEntropy(out, batch.YCls)
+			} else {
+				loss, grad = nn.MSELoss(out, batch.YReg)
+			}
+			m.Backward(grad)
+			opt.Step(m.Params())
+			epochLoss += loss
+			batches++
+			res.Batches++
+			if cfg.MaxBatches > 0 && res.Batches >= cfg.MaxBatches {
+				res.TimedOut = true
+				res.EpochLosses = append(res.EpochLosses, epochLoss/float64(batches))
+				return res
+			}
+		}
+		res.EpochLosses = append(res.EpochLosses, epochLoss/float64(batches))
+	}
+	return res
+}
+
+// Evaluate computes the benchmark metric of the model on ds: R² for
+// regression (Combo, Uno) or classification accuracy (NT3). Large datasets
+// are evaluated in chunks to bound memory.
+func Evaluate(m *nn.Model, ds *data.Dataset) float64 {
+	const chunk = 1024
+	n := ds.N()
+	if n == 0 {
+		return 0
+	}
+	if ds.IsClassification() {
+		correct := 0
+		for lo := 0; lo < n; lo += chunk {
+			hi := min(lo+chunk, n)
+			part := ds.Slice(lo, hi)
+			out := m.Predict(part.Inputs)
+			pred := tensor.ArgmaxRows(out)
+			for i, p := range pred {
+				if p == part.YCls[i] {
+					correct++
+				}
+			}
+		}
+		return float64(correct) / float64(n)
+	}
+	preds := tensor.New(n, 1)
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		part := ds.Slice(lo, hi)
+		out := m.Predict(part.Inputs)
+		if out.Shape[1] != 1 {
+			panic(fmt.Sprintf("train: regression model output width %d, want 1", out.Shape[1]))
+		}
+		copy(preds.Data[lo:hi], out.Data)
+	}
+	return nn.R2(preds, ds.YReg)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

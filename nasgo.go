@@ -1,0 +1,130 @@
+// Package nasgo is a from-scratch Go reproduction of "Scalable
+// Reinforcement-Learning-Based Neural Architecture Search for Cancer Deep
+// Learning Research" (Balaprakash et al., SC 2019): the DeepHyper-style NAS
+// module, its cancer-specific graph search spaces, the PPO-based A3C/A2C
+// multi-agent search with a parameter server, and the simulated Theta/Balsam
+// execution substrate the paper's scaling study runs on.
+//
+// This package is the public façade. The heavy lifting lives in the
+// internal packages; the types re-exported here are the stable surface the
+// examples and command-line tools build on:
+//
+//	bench, _ := nasgo.NewBenchmark("Combo", nasgo.BenchmarkConfig{Seed: 1})
+//	sp, _ := bench.Space("small")
+//	log := nasgo.RunSearch(bench, sp, nasgo.SearchConfig{
+//		Strategy: nasgo.A3C, Agents: 8, WorkersPerAgent: 5, Horizon: 3 * 3600,
+//	})
+//	report := nasgo.PostTrain(bench, sp, log.TopK(10), nasgo.PostTrainConfig{})
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package nasgo
+
+import (
+	"nasgo/internal/candle"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/experiments"
+	"nasgo/internal/modelio"
+	"nasgo/internal/nn"
+	"nasgo/internal/posttrain"
+	"nasgo/internal/search"
+	"nasgo/internal/space"
+)
+
+// Search strategy names (§3.2 of the paper).
+const (
+	// A3C is asynchronous advantage actor-critic with PPO updates.
+	A3C = search.A3C
+	// A2C is the synchronous variant.
+	A2C = search.A2C
+	// RDM is random search over the same space and batch discipline.
+	RDM = search.RDM
+)
+
+// Re-exported core types. Each alias is documented at its definition.
+type (
+	// Benchmark bundles a CANDLE problem: data, baseline, settings.
+	Benchmark = candle.Benchmark
+	// BenchmarkConfig seeds and scales a benchmark.
+	BenchmarkConfig = candle.Config
+	// Space is a NAS search space (Structure of Cells of Blocks).
+	Space = space.Space
+	// ArchIR is a compiled architecture.
+	ArchIR = space.ArchIR
+	// ArchStats holds analytic parameter/FLOP counts.
+	ArchStats = space.ArchStats
+	// SearchConfig parameterizes a multi-agent search run.
+	SearchConfig = search.Config
+	// SearchLog is a completed run's trace.
+	SearchLog = search.Log
+	// EvalResult is one reward estimation.
+	EvalResult = evaluator.Result
+	// EvaluatorConfig controls reward estimation fidelity and timeout.
+	EvaluatorConfig = evaluator.Config
+	// PostTrainConfig controls post-training.
+	PostTrainConfig = posttrain.Config
+	// PostTrainReport compares post-trained architectures to the baseline.
+	PostTrainReport = posttrain.Report
+	// ExperimentScale sets the resource knobs of paper experiments.
+	ExperimentScale = experiments.Scale
+)
+
+// NewBenchmark builds a CANDLE benchmark ("Combo", "Uno", or "NT3").
+func NewBenchmark(name string, cfg BenchmarkConfig) (*Benchmark, error) {
+	return candle.ByName(name, cfg)
+}
+
+// NewSpace returns a catalog search space by name: combo-small,
+// combo-large, uno-small, uno-large, or nt3-small.
+func NewSpace(name string) (*Space, error) { return space.ByName(name) }
+
+// SpaceNames lists the catalog search spaces.
+func SpaceNames() []string { return space.CatalogNames() }
+
+// RunSearch executes one multi-agent NAS run (deterministic in its
+// configuration) and returns the trace.
+func RunSearch(bench *Benchmark, sp *Space, cfg SearchConfig) *SearchLog {
+	return search.Run(bench, sp, cfg)
+}
+
+// LoadSearchLog reads a log saved with SearchLog.WriteJSON.
+func LoadSearchLog(path string) (*SearchLog, error) { return search.LoadLog(path) }
+
+// PostTrain retrains the given top architectures for the paper's 20 epochs
+// (configurable) and compares them to the manually designed baseline.
+func PostTrain(bench *Benchmark, sp *Space, top []*EvalResult, cfg PostTrainConfig) *PostTrainReport {
+	return posttrain.Run(bench, sp, top, cfg)
+}
+
+// RenderExperiment regenerates a paper table or figure by id ("fig4" …
+// "fig13", "table1") at the given scale and returns its textual rendering.
+func RenderExperiment(id string, sc ExperimentScale) (string, error) {
+	return experiments.Render(id, sc)
+}
+
+// ExperimentNames lists the regenerable tables and figures.
+func ExperimentNames() []string { return experiments.Names() }
+
+// ExperimentScaleByName returns a scale preset: "quick", "default", or
+// "paper".
+func ExperimentScaleByName(name string) (ExperimentScale, error) {
+	return experiments.ScaleByName(name)
+}
+
+// Model is a trainable neural network built from an architecture.
+type Model = nn.Model
+
+// SaveModel persists a trained model together with its architecture
+// identity (space, choices, dimensions, unit scale).
+func SaveModel(path string, sp *Space, choices []int, inputDims []int, unitScale float64, m *Model) error {
+	return modelio.Save(path, sp, choices, inputDims, unitScale, m)
+}
+
+// LoadModel reloads a model saved from a catalog space; for custom spaces
+// use LoadModelWithSpace.
+func LoadModel(path string) (*Model, *ArchIR, error) { return modelio.Load(path) }
+
+// LoadModelWithSpace reloads a model saved from the given (custom) space.
+func LoadModelWithSpace(path string, sp *Space) (*Model, *ArchIR, error) {
+	return modelio.LoadWithSpace(path, sp)
+}
