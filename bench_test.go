@@ -301,6 +301,29 @@ func BenchmarkAblation_MultiObjective(b *testing.B) {
 	b.ReportMetric(ratio, "plain_over_shaped_median_params")
 }
 
+// --- Resilience: reward and utilization vs fault rate ---
+
+func BenchmarkFaults_Resilience(b *testing.B) {
+	r := experiments.Faults(benchScale)
+	writeResult(b, "faults_resilience", r.Render())
+	b.ResetTimer()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		// Paper's asynchrony argument under failure: A2C's barrier loses
+		// more utilization to faults than A3C's asynchronous updates.
+		gap = r.Degradation(search.A2C, "high") - r.Degradation(search.A3C, "high")
+	}
+	b.ReportMetric(r.MeanUtilization(search.A3C, "none"), "a3c_util_none")
+	b.ReportMetric(r.MeanUtilization(search.A3C, "high"), "a3c_util_high")
+	b.ReportMetric(r.MeanUtilization(search.A2C, "none"), "a2c_util_none")
+	b.ReportMetric(r.MeanUtilization(search.A2C, "high"), "a2c_util_high")
+	b.ReportMetric(r.Degradation(search.A3C, "high"), "a3c_util_degradation")
+	b.ReportMetric(r.Degradation(search.A2C, "high"), "a2c_util_degradation")
+	b.ReportMetric(gap, "a2c_minus_a3c_degradation")
+	b.ReportMetric(float64(r.Run(search.A3C, "high").NodeFailures), "a3c_high_node_failures")
+	b.ReportMetric(float64(r.Run(search.A3C, "high").Retries), "a3c_high_retries")
+}
+
 // sanity check that the analytics used above behave on live logs.
 func BenchmarkTrajectoryAnalysis(b *testing.B) {
 	f4 := experiments.Fig4("Combo", benchScale)

@@ -25,9 +25,9 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig4..fig13, table1) or 'all'")
+		exp   = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, ...) or 'all'")
 		scale = flag.String("scale", "quick", "scale preset: quick, default, or paper")
-		out   = flag.String("out", "", "also write each rendering to <out>/<exp>.txt")
+		out   = flag.String("out", "bench_results", "write each rendering to <out>/<exp>.txt ('' disables)")
 	)
 	flag.Parse()
 

@@ -6,15 +6,27 @@
 // The real Balsam is a Django/PostgreSQL service polled by MPI ranks; here
 // the database is in memory and the launcher runs on the discrete-event
 // simulator, but the state machine (CREATED → RUNNING → JOB_FINISHED, with
-// RUN_TIMEOUT for killed tasks) and the scheduling dynamics — FIFO queue,
-// one job per node, dispatch on idle — are preserved, because those
-// dynamics are what produce the paper's utilization curves.
+// RUN_TIMEOUT for killed tasks and RUN_ERROR → RESTART_READY → … → FAILED
+// for tasks whose node dies) and the scheduling dynamics — FIFO queue, one
+// job per node, dispatch on idle — are preserved, because those dynamics
+// are what produce the paper's utilization curves.
+//
+// Fault injection: a Service built with NewServiceWithOptions and a nonzero
+// hpc.FaultModel tracks per-node up/down state in a NodePool, kills jobs
+// whose node dies mid-run, requeues them with capped exponential backoff in
+// virtual time (terminal FAILED after MaxRetries), and slows straggling
+// jobs. Utilization accounting distinguishes busy, idle, and dead
+// node-seconds, so MeanUtilization and UtilizationSeries report the busy
+// fraction of *available* capacity. With the zero FaultModel the service
+// behaves bit-for-bit like the fault-free original.
 package balsam
 
 import (
 	"fmt"
+	"math"
 
 	"nasgo/internal/hpc"
+	"nasgo/internal/rng"
 )
 
 // JobState is the lifecycle state of a job.
@@ -30,6 +42,15 @@ const (
 	// StateTimeout means the task hit its wall-clock limit and was killed
 	// after producing a partial result.
 	StateTimeout JobState = "RUN_TIMEOUT"
+	// StateRunError means the job's node died mid-run; the job waits out
+	// its retry backoff in this state.
+	StateRunError JobState = "RUN_ERROR"
+	// StateRestartReady means a killed job finished its backoff and is
+	// queued for another attempt.
+	StateRestartReady JobState = "RESTART_READY"
+	// StateFailed is terminal: the job was killed more than MaxRetries
+	// times and will not run again.
+	StateFailed JobState = "FAILED"
 )
 
 // Job is one reward-estimation task.
@@ -38,68 +59,250 @@ type Job struct {
 	AgentID int
 	// Key identifies the architecture being evaluated.
 	Key string
-	// Duration is the task's virtual execution time in seconds.
+	// Duration is the task's virtual execution time in seconds (before any
+	// straggler slowdown).
 	Duration float64
 	// TimedOut marks a task that will end in StateTimeout.
 	TimedOut bool
 	State    JobState
+	// Attempts counts how many times the job started running on a node.
+	Attempts int
+	// Node is the worker node currently running the job (-1 when none).
+	Node int
 
 	SubmitTime, StartTime, EndTime float64
 
 	// Payload carries the evaluator's result through the queue; balsam
 	// treats it as opaque.
 	Payload interface{}
-	// OnDone fires when the job completes.
+	// OnDone fires when the job reaches a terminal state (JOB_FINISHED,
+	// RUN_TIMEOUT, or FAILED).
 	OnDone func(*Job)
+}
+
+// NodeState is the availability state of one worker node.
+type NodeState int
+
+const (
+	// NodeIdle means up and waiting for work.
+	NodeIdle NodeState = iota
+	// NodeBusy means up and running a job.
+	NodeBusy
+	// NodeDown means failed and awaiting repair.
+	NodeDown
+)
+
+// NodePool tracks per-node state instead of a bare busy counter, so node
+// failures can target (and kill the job of) a specific node.
+type NodePool struct {
+	states []NodeState
+	jobs   []*Job
+	busy   int
+	down   int
+}
+
+// NewNodePool creates a pool of n idle nodes.
+func NewNodePool(n int) *NodePool {
+	return &NodePool{states: make([]NodeState, n), jobs: make([]*Job, n)}
+}
+
+// Len returns the pool size.
+func (p *NodePool) Len() int { return len(p.states) }
+
+// State returns node i's availability state.
+func (p *NodePool) State(i int) NodeState { return p.states[i] }
+
+// JobOn returns the job running on node i (nil when idle or down).
+func (p *NodePool) JobOn(i int) *Job { return p.jobs[i] }
+
+// Busy returns the number of nodes running jobs.
+func (p *NodePool) Busy() int { return p.busy }
+
+// Down returns the number of failed nodes.
+func (p *NodePool) Down() int { return p.down }
+
+// Acquire assigns job to the lowest-indexed idle node and returns its
+// index, or -1 when every node is busy or down. Lowest-index-first keeps
+// the schedule deterministic.
+func (p *NodePool) Acquire(job *Job) int {
+	for i, st := range p.states {
+		if st == NodeIdle {
+			p.states[i] = NodeBusy
+			p.jobs[i] = job
+			p.busy++
+			return i
+		}
+	}
+	return -1
+}
+
+// Release returns a busy node to idle.
+func (p *NodePool) Release(i int) {
+	if p.states[i] != NodeBusy {
+		panic(fmt.Sprintf("balsam: release of non-busy node %d", i))
+	}
+	p.states[i] = NodeIdle
+	p.jobs[i] = nil
+	p.busy--
+}
+
+// SetDown marks a node failed; a busy node's job must be killed first.
+func (p *NodePool) SetDown(i int) {
+	switch p.states[i] {
+	case NodeBusy:
+		p.busy--
+	case NodeDown:
+		return
+	}
+	p.states[i] = NodeDown
+	p.jobs[i] = nil
+	p.down++
+}
+
+// SetUp repairs a down node back to idle.
+func (p *NodePool) SetUp(i int) {
+	if p.states[i] != NodeDown {
+		return
+	}
+	p.states[i] = NodeIdle
+	p.down--
+}
+
+// Options configures the fault-tolerance behaviour of a Service.
+type Options struct {
+	// Faults injects node failures and stragglers; the zero value leaves
+	// the machine perfect.
+	Faults hpc.FaultModel
+	// FaultHorizon bounds failure injection in virtual seconds (default
+	// 6 h, the paper's wall-clock budget). Repairs for failures inside the
+	// horizon always complete, even past it.
+	FaultHorizon float64
+	// MaxRetries is how many times a killed job is requeued before it goes
+	// terminal FAILED (default 3; negative means no retries — the first
+	// kill is terminal).
+	MaxRetries int
+	// BackoffBase is the first requeue delay in virtual seconds
+	// (default 15); each further retry doubles it.
+	BackoffBase float64
+	// BackoffCap caps the exponential backoff (default 240).
+	BackoffCap float64
+}
+
+func (o Options) withDefaults() Options {
+	o.Faults = o.Faults.WithDefaults()
+	if o.FaultHorizon <= 0 {
+		o.FaultHorizon = 6 * 3600
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 15
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 240
+	}
+	return o
 }
 
 // Service is the in-memory job database plus launcher.
 type Service struct {
 	sim    *hpc.Sim
-	nodes  int
-	busy   int
+	pool   *NodePool
+	opts   Options
 	queue  []*Job
 	nextID int64
 
 	jobs map[int64]*Job
 
-	// Utilization accounting: integral of busy fraction over time plus a
-	// transition log for time series.
+	stragglerRand *rng.Rand
+
+	// Utilization accounting: integrals of busy and down node counts over
+	// time plus a transition log for time series.
 	lastChange   float64
+	busy         int
+	down         int
 	busyIntegral float64
+	downIntegral float64
 	transitions  []UtilizationPoint
 
-	finished int
+	finished     int
+	failed       int
+	retries      int
+	nodeFailures int
 }
 
 // UtilizationPoint is one step of the piecewise-constant utilization curve:
-// from Time onward, Busy nodes were occupied (until the next point).
+// from Time onward, Busy nodes were occupied and Down nodes were dead
+// (until the next point).
 type UtilizationPoint struct {
 	Time float64
 	Busy int
+	Down int
 }
 
-// NewService creates a service managing the given number of worker nodes.
+// NewService creates a service managing the given number of worker nodes on
+// a perfect machine (no faults).
 func NewService(sim *hpc.Sim, nodes int) *Service {
+	return NewServiceWithOptions(sim, nodes, Options{})
+}
+
+// NewServiceWithOptions creates a service with fault-tolerance options.
+// With the zero Options the service is indistinguishable from NewService.
+func NewServiceWithOptions(sim *hpc.Sim, nodes int, opts Options) *Service {
 	if nodes <= 0 {
 		panic("balsam: need at least one worker node")
 	}
-	s := &Service{sim: sim, nodes: nodes, jobs: map[int64]*Job{}}
-	s.transitions = append(s.transitions, UtilizationPoint{Time: 0, Busy: 0})
+	opts = opts.withDefaults()
+	s := &Service{sim: sim, pool: NewNodePool(nodes), opts: opts, jobs: map[int64]*Job{}}
+	s.lastChange = sim.Now()
+	s.transitions = append(s.transitions, UtilizationPoint{Time: sim.Now()})
+	if opts.Faults.StragglerProb > 0 {
+		s.stragglerRand = opts.Faults.StragglerStream()
+	}
+	now := sim.Now()
+	for _, ev := range opts.Faults.Timeline(nodes, opts.FaultHorizon) {
+		ev := ev
+		delay := ev.Time - now
+		if delay < 0 {
+			delay = 0
+		}
+		if ev.Down {
+			sim.At(delay, func() { s.nodeDown(ev.Node) })
+		} else {
+			sim.At(delay, func() { s.nodeUp(ev.Node) })
+		}
+	}
 	return s
 }
 
 // Nodes returns the worker-node count.
-func (s *Service) Nodes() int { return s.nodes }
+func (s *Service) Nodes() int { return s.pool.Len() }
 
 // Busy returns the number of nodes currently running jobs.
-func (s *Service) Busy() int { return s.busy }
+func (s *Service) Busy() int { return s.pool.Busy() }
+
+// Down returns the number of nodes currently failed.
+func (s *Service) Down() int { return s.pool.Down() }
 
 // QueueLen returns the number of jobs waiting for a node.
 func (s *Service) QueueLen() int { return len(s.queue) }
 
-// Finished returns the number of completed jobs.
+// Finished returns the number of successfully completed jobs (JOB_FINISHED
+// or RUN_TIMEOUT; FAILED jobs are counted by Failed).
 func (s *Service) Finished() int { return s.finished }
+
+// Failed returns the number of jobs that went terminal FAILED.
+func (s *Service) Failed() int { return s.failed }
+
+// Retries returns the number of kill-and-requeue cycles performed.
+func (s *Service) Retries() int { return s.retries }
+
+// NodeFailures returns the number of node-down events executed so far.
+func (s *Service) NodeFailures() int { return s.nodeFailures }
+
+// Pool exposes the node pool (read-only use intended).
+func (s *Service) Pool() *NodePool { return s.pool }
 
 // Submit adds a job to the database and triggers the launcher. It returns
 // the assigned job ID.
@@ -110,6 +313,7 @@ func (s *Service) Submit(job *Job) int64 {
 	s.nextID++
 	job.ID = s.nextID
 	job.State = StateCreated
+	job.Node = -1
 	job.SubmitTime = s.sim.Now()
 	s.jobs[job.ID] = job
 	s.queue = append(s.queue, job)
@@ -120,17 +324,33 @@ func (s *Service) Submit(job *Job) int64 {
 // dispatch starts queued jobs while nodes are idle (the pilot-job launcher
 // loop).
 func (s *Service) dispatch() {
-	for len(s.queue) > 0 && s.busy < s.nodes {
+	for len(s.queue) > 0 {
 		job := s.queue[0]
+		node := s.pool.Acquire(job)
+		if node < 0 {
+			return
+		}
 		s.queue = s.queue[1:]
-		s.setBusy(s.busy + 1)
 		job.State = StateRunning
+		job.Node = node
+		job.Attempts++
 		job.StartTime = s.sim.Now()
-		s.sim.At(job.Duration, func() { s.complete(job) })
+		s.updateCounts()
+		d := job.Duration
+		if s.stragglerRand != nil {
+			d *= s.opts.Faults.Straggler(s.stragglerRand)
+		}
+		attempt := job.Attempts
+		s.sim.At(d, func() { s.complete(job, attempt) })
 	}
 }
 
-func (s *Service) complete(job *Job) {
+// complete finishes a run, unless the run was killed by a node failure
+// first (then the completion event is stale and ignored).
+func (s *Service) complete(job *Job, attempt int) {
+	if job.State != StateRunning || job.Attempts != attempt {
+		return
+	}
 	if job.TimedOut {
 		job.State = StateTimeout
 	} else {
@@ -138,35 +358,127 @@ func (s *Service) complete(job *Job) {
 	}
 	job.EndTime = s.sim.Now()
 	s.finished++
-	s.setBusy(s.busy - 1)
+	s.pool.Release(job.Node)
+	job.Node = -1
+	s.updateCounts()
 	if job.OnDone != nil {
 		job.OnDone(job)
 	}
 	s.dispatch()
 }
 
-func (s *Service) setBusy(n int) {
-	now := s.sim.Now()
-	s.busyIntegral += float64(s.busy) * (now - s.lastChange)
-	s.lastChange = now
-	s.busy = n
-	s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: n})
+// FailNode injects a scripted node failure (same path as the FaultModel
+// timeline): the node goes down and its running job, if any, is killed and
+// retried or failed. No-op when the node is already down.
+func (s *Service) FailNode(node int) { s.nodeDown(node) }
+
+// RepairNode injects a scripted repair, returning a down node to service.
+// No-op when the node is up.
+func (s *Service) RepairNode(node int) { s.nodeUp(node) }
+
+// nodeDown fails a node, killing (and retrying or failing) its job.
+func (s *Service) nodeDown(node int) {
+	if s.pool.State(node) == NodeDown {
+		return
+	}
+	s.nodeFailures++
+	job := s.pool.JobOn(node)
+	s.pool.SetDown(node)
+	if job != nil {
+		s.kill(job)
+	}
+	s.updateCounts()
 }
 
-// MeanUtilization returns the time-averaged busy fraction from t=0 to now.
+// kill transitions a running job to RUN_ERROR and either schedules its
+// requeue (capped exponential backoff in virtual time) or fails it
+// terminally once its retries are exhausted.
+func (s *Service) kill(job *Job) {
+	job.State = StateRunError
+	job.Node = -1
+	if job.Attempts > s.opts.MaxRetries {
+		job.State = StateFailed
+		job.EndTime = s.sim.Now()
+		s.failed++
+		if job.OnDone != nil {
+			job.OnDone(job)
+		}
+		return
+	}
+	s.retries++
+	backoff := s.opts.BackoffBase * math.Pow(2, float64(job.Attempts-1))
+	if backoff > s.opts.BackoffCap {
+		backoff = s.opts.BackoffCap
+	}
+	s.sim.At(backoff, func() { s.requeue(job) })
+}
+
+// requeue puts a killed job back on the launcher queue after its backoff.
+func (s *Service) requeue(job *Job) {
+	job.State = StateRestartReady
+	s.queue = append(s.queue, job)
+	s.dispatch()
+}
+
+// nodeUp repairs a node and resumes dispatching.
+func (s *Service) nodeUp(node int) {
+	if s.pool.State(node) != NodeDown {
+		return
+	}
+	s.pool.SetUp(node)
+	s.updateCounts()
+	s.dispatch()
+}
+
+// updateCounts integrates the busy/down node counts up to now and records a
+// transition point.
+func (s *Service) updateCounts() {
+	now := s.sim.Now()
+	s.busyIntegral += float64(s.busy) * (now - s.lastChange)
+	s.downIntegral += float64(s.down) * (now - s.lastChange)
+	s.lastChange = now
+	s.busy = s.pool.Busy()
+	s.down = s.pool.Down()
+	s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
+}
+
+// BusySeconds returns the integral of busy node count over time.
+func (s *Service) BusySeconds() float64 {
+	return s.busyIntegral + float64(s.busy)*(s.sim.Now()-s.lastChange)
+}
+
+// DeadSeconds returns the integral of failed node count over time.
+func (s *Service) DeadSeconds() float64 {
+	return s.downIntegral + float64(s.down)*(s.sim.Now()-s.lastChange)
+}
+
+// IdleSeconds returns the integral of idle (up, unoccupied) node count.
+func (s *Service) IdleSeconds() float64 {
+	return float64(s.pool.Len())*s.sim.Now() - s.BusySeconds() - s.DeadSeconds()
+}
+
+// MeanUtilization returns the time-averaged busy fraction of *available*
+// capacity from t=0 to now: busy node-seconds over total node-seconds minus
+// dead node-seconds. On a fault-free machine this is the plain busy
+// fraction.
 func (s *Service) MeanUtilization() float64 {
 	now := s.sim.Now()
 	if now == 0 {
 		return 0
 	}
-	integral := s.busyIntegral + float64(s.busy)*(now-s.lastChange)
-	return integral / (float64(s.nodes) * now)
+	avail := float64(s.pool.Len())*now - s.DeadSeconds()
+	if avail <= 0 {
+		return 0
+	}
+	return s.BusySeconds() / avail
 }
 
 // UtilizationSeries samples the piecewise-constant utilization curve into
-// buckets of the given width (seconds), averaging within each bucket —
-// the series plotted in the paper's Figures 5, 6, and 9. The final partial
-// bucket is included.
+// buckets of the given width (seconds), averaging busy capacity over
+// available (non-dead) capacity within each bucket — the series plotted in
+// the paper's Figures 5, 6, and 9. The final partial bucket is included;
+// when now falls exactly on a bucket boundary no zero-width bucket is
+// emitted. A bucket whose capacity was entirely dead reads 0.
 func (s *Service) UtilizationSeries(bucket float64) []float64 {
 	if bucket <= 0 {
 		panic("balsam: bucket must be positive")
@@ -175,14 +487,19 @@ func (s *Service) UtilizationSeries(bucket float64) []float64 {
 	if now == 0 {
 		return nil
 	}
-	nBuckets := int(now/bucket) + 1
-	series := make([]float64, nBuckets)
-	// Integrate the step function per bucket.
+	nBuckets := int(now / bucket)
+	if float64(nBuckets)*bucket < now {
+		nBuckets++
+	}
+	busySec := make([]float64, nBuckets)
+	downSec := make([]float64, nBuckets)
+	// Integrate the step functions per bucket.
 	points := append(append([]UtilizationPoint(nil), s.transitions...),
-		UtilizationPoint{Time: now, Busy: s.busy})
+		UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
 	for i := 0; i+1 < len(points); i++ {
 		t0, t1 := points[i].Time, points[i+1].Time
 		busy := float64(points[i].Busy)
+		down := float64(points[i].Down)
 		for t0 < t1 {
 			b := int(t0 / bucket)
 			end := float64(b+1) * bucket
@@ -190,18 +507,21 @@ func (s *Service) UtilizationSeries(bucket float64) []float64 {
 				end = t1
 			}
 			if b < nBuckets {
-				series[b] += busy * (end - t0)
+				busySec[b] += busy * (end - t0)
+				downSec[b] += down * (end - t0)
 			}
 			t0 = end
 		}
 	}
+	series := make([]float64, nBuckets)
 	for b := range series {
 		width := bucket
 		if float64(b+1)*bucket > now {
 			width = now - float64(b)*bucket
 		}
-		if width > 0 {
-			series[b] /= width * float64(s.nodes)
+		avail := width*float64(s.pool.Len()) - downSec[b]
+		if avail > 0 {
+			series[b] = busySec[b] / avail
 		}
 	}
 	return series

@@ -51,6 +51,16 @@ type Result struct {
 	Cached bool
 	// TimedOut marks a task killed at the 10-minute limit.
 	TimedOut bool
+	// Failed marks an estimation that produced no reward: either the
+	// architecture failed to compile, or every execution attempt was killed
+	// by a node failure. Failed results are never cached, so a later
+	// resubmission of the same architecture runs again.
+	Failed bool
+	// Err describes why a Failed result failed (empty otherwise).
+	Err string
+	// Attempts is how many times the task started on a worker node (1 on a
+	// fault-free machine, 0 for cache hits and compile failures).
+	Attempts int
 	// Duration is the task's virtual seconds (0 for cache hits).
 	Duration float64
 	// FinishTime is the virtual time the result became available.
@@ -221,10 +231,12 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 		return
 	}
 
-	// Virtual plan at paper dimensions.
+	// Virtual plan at paper dimensions. A malformed architecture must not
+	// kill the campaign: surface the compile error as a failed result.
 	paperIR, err := e.Space.Compile(choices, e.Space.PaperInputDims(), 1.0)
 	if err != nil {
-		panic(fmt.Sprintf("evaluator: compile at paper dims: %v", err))
+		e.failCompile(agentID, key, choices, fmt.Sprintf("compile at paper dims: %v", err), onDone)
+		return
 	}
 	stats := paperIR.Stats()
 	virtTrainSamples := int(float64(e.Bench.PaperTrainSamples) * e.Cfg.Fidelity)
@@ -240,7 +252,12 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 
 	// Real training at scaled dimensions, eagerly computed; its reward is
 	// revealed when the virtual task completes.
-	reward := e.shapeReward(e.realReward(agentID, choices, plan), stats)
+	metric, err := e.realReward(agentID, choices, plan)
+	if err != nil {
+		e.failCompile(agentID, key, choices, err.Error(), onDone)
+		return
+	}
+	reward := e.shapeReward(metric, stats)
 
 	res := &Result{
 		AgentID:  agentID,
@@ -261,20 +278,51 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 		Payload:  res,
 		OnDone: func(j *balsam.Job) {
 			res.FinishTime = e.sim.Now()
+			res.Attempts = j.Attempts
+			if j.State == balsam.StateFailed {
+				// Every attempt was killed by a node failure: no reward,
+				// and the estimation must not be served from cache later.
+				res.Failed = true
+				res.Err = "all execution attempts killed by node failures"
+				res.Reward = 0
+				res.TimedOut = false
+				if cache[key] == res {
+					delete(cache, key)
+				}
+			}
 			e.record(res)
 			onDone(res)
 		},
 	})
 }
 
+// failCompile delivers a Failed result for an architecture that cannot be
+// compiled. Compile failures are deterministic, but they are still not
+// cached: caching would hand later submissions a zero-reward hit instead of
+// the explicit failure path, and the paper's cache holds estimations only.
+func (e *Evaluator) failCompile(agentID int, key string, choices []int, msg string, onDone func(*Result)) {
+	res := &Result{
+		AgentID: agentID,
+		Key:     key,
+		Choices: append([]int(nil), choices...),
+		Failed:  true,
+		Err:     "evaluator: " + msg,
+	}
+	e.sim.At(0, func() {
+		res.FinishTime = e.sim.Now()
+		e.record(res)
+		onDone(res)
+	})
+}
+
 // realReward trains the scaled-down architecture and returns the validation
 // metric. The virtual plan's achieved batch fraction truncates the real
 // training budget, so virtual timeouts degrade real rewards.
-func (e *Evaluator) realReward(agentID int, choices []int, plan hpc.RewardEstimate) float64 {
+func (e *Evaluator) realReward(agentID int, choices []int, plan hpc.RewardEstimate) (float64, error) {
 	taskRand := rng.New(e.agentSeed(agentID) ^ hashKey(e.Space.Hash(choices)))
 	ir, err := e.Space.Compile(choices, e.Bench.Train.InputDims(), e.Bench.UnitScale)
 	if err != nil {
-		panic(fmt.Sprintf("evaluator: compile at scaled dims: %v", err))
+		return 0, fmt.Errorf("compile at scaled dims: %v", err)
 	}
 	model := ir.BuildModel(taskRand.Split())
 
@@ -296,7 +344,7 @@ func (e *Evaluator) realReward(agentID int, choices []int, plan hpc.RewardEstima
 			Rand:       taskRand.Split(),
 		})
 	}
-	return train.Evaluate(model, e.Bench.Val)
+	return train.Evaluate(model, e.Bench.Val), nil
 }
 
 // virtualTotalBatches returns the virtual plan's full batch count for the

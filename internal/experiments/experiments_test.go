@@ -156,6 +156,34 @@ func TestAblationCacheScope(t *testing.T) {
 	}
 }
 
+func TestFaultsExperiment(t *testing.T) {
+	ResetCache()
+	r := Faults(microScale)
+	if len(r.Runs) != len(FaultLevels)*len(Strategies) {
+		t.Fatalf("runs = %d, want %d", len(r.Runs), len(FaultLevels)*len(Strategies))
+	}
+	// The zero-fault arm shares the memoized Fig 4/5 runs and is clean.
+	f4 := Fig4("Combo", microScale)
+	if r.Run(search.A3C, "none") != f4.Runs[0].Log {
+		t.Fatal("zero-fault arm re-ran the Fig 4 search")
+	}
+	if log := r.Run(search.A3C, "none"); log.NodeFailures != 0 || log.Retries != 0 {
+		t.Fatalf("zero-fault arm saw faults: %d failures, %d retries", log.NodeFailures, log.Retries)
+	}
+	// The high-fault arms really get hit.
+	for _, strat := range Strategies {
+		if r.Run(strat, "high").NodeFailures == 0 {
+			t.Fatalf("%s high-fault arm saw no node failures", strat)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"none", "high", "A3C", "A2C", "node-fail", "utilization lost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestNamesCoveredByRender(t *testing.T) {
 	// Every listed experiment id must be dispatchable (checked without
 	// executing: unknown ids error immediately, so probe with a scale
@@ -166,7 +194,7 @@ func TestNamesCoveredByRender(t *testing.T) {
 		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "fig12", "fig13", "table1",
 			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-			"ablation-evolution", "multiobjective":
+			"ablation-evolution", "multiobjective", "faults":
 		default:
 			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
 		}

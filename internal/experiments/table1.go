@@ -150,6 +150,8 @@ func Render(id string, sc Scale) (string, error) {
 		return AblationEvolution(sc).Render(), nil
 	case "multiobjective":
 		return MultiObjective(sc).Render(), nil
+	case "faults":
+		return Faults(sc).Render(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(Names(), ", "))
 	}

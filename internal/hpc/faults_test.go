@@ -1,0 +1,117 @@
+package hpc
+
+import (
+	"testing"
+
+	"nasgo/internal/rng"
+)
+
+func TestFaultModelZeroValueDisabled(t *testing.T) {
+	var f FaultModel
+	if f.Enabled() {
+		t.Fatal("zero FaultModel reports enabled")
+	}
+	if ev := f.Timeline(8, 3600); ev != nil {
+		t.Fatalf("zero model produced events: %v", ev)
+	}
+	r := rng.New(1)
+	before := *r
+	if m := f.Straggler(r); m != 1 {
+		t.Fatalf("straggler multiplier %g, want 1", m)
+	}
+	if *r != before {
+		t.Fatal("disabled Straggler consumed randomness")
+	}
+}
+
+func TestTimelineDeterministic(t *testing.T) {
+	f := FaultModel{MTBF: 500, MTTR: 100, Seed: 42}
+	a := f.Timeline(6, 7200)
+	b := f.Timeline(6, 7200)
+	if len(a) == 0 {
+		t.Fatal("expected events")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimelineAlternatesPerNode(t *testing.T) {
+	f := FaultModel{MTBF: 300, MTTR: 60, Seed: 3}
+	events := f.Timeline(4, 7200)
+	last := map[int]bool{} // node -> last event was down
+	downs := map[int]int{}
+	ups := map[int]int{}
+	prev := -1.0
+	for _, ev := range events {
+		if ev.Time < prev {
+			t.Fatalf("events out of order at %+v", ev)
+		}
+		prev = ev.Time
+		if ev.Down {
+			if last[ev.Node] {
+				t.Fatalf("node %d went down twice without repair", ev.Node)
+			}
+			downs[ev.Node]++
+		} else {
+			if !last[ev.Node] {
+				t.Fatalf("node %d repaired while up", ev.Node)
+			}
+			ups[ev.Node]++
+		}
+		last[ev.Node] = ev.Down
+	}
+	// Every down has a matching up, even past the horizon.
+	for n, d := range downs {
+		if ups[n] != d {
+			t.Fatalf("node %d: %d downs, %d ups", n, d, ups[n])
+		}
+	}
+}
+
+func TestTimelineDownEventsWithinHorizon(t *testing.T) {
+	f := FaultModel{MTBF: 100, MTTR: 50, Seed: 9}
+	horizon := 1000.0
+	for _, ev := range f.Timeline(3, horizon) {
+		if ev.Down && ev.Time >= horizon {
+			t.Fatalf("down event past horizon: %+v", ev)
+		}
+	}
+}
+
+func TestStragglerBounds(t *testing.T) {
+	f := FaultModel{StragglerProb: 0.5, StragglerSlowdown: 4, Seed: 1}
+	r := f.StragglerStream()
+	slowed := 0
+	for i := 0; i < 1000; i++ {
+		m := f.Straggler(r)
+		if m < 1 || m > 4 {
+			t.Fatalf("multiplier %g out of [1, 4]", m)
+		}
+		if m > 1 {
+			slowed++
+		}
+	}
+	// ~500 expected; loose bounds to stay seed-robust.
+	if slowed < 350 || slowed > 650 {
+		t.Fatalf("%d/1000 jobs slowed, want ≈500", slowed)
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	f := FaultModel{MTBF: 1000, StragglerProb: 0.1}.WithDefaults()
+	if f.MTTR != 600 {
+		t.Fatalf("MTTR default %g, want 600", f.MTTR)
+	}
+	if f.StragglerSlowdown != 4 {
+		t.Fatalf("StragglerSlowdown default %g, want 4", f.StragglerSlowdown)
+	}
+	if g := (FaultModel{}).WithDefaults(); g.MTTR != 0 || g.StragglerSlowdown != 0 {
+		t.Fatalf("zero model gained defaults: %+v", g)
+	}
+}

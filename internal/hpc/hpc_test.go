@@ -142,7 +142,8 @@ func TestPlanRewardEstimateNoTimeout(t *testing.T) {
 	if est.TrainBatches != 10 {
 		t.Fatalf("TrainBatches = %d, want 10", est.TrainBatches)
 	}
-	wantDur := KNL.TaskStartup + KNL.TrainTime(st, 1000, 1) + KNL.InferTime(st, 200)
+	// Training pays the cold-start derate; the validation sweep does not.
+	wantDur := KNL.TaskStartup + ColdTrainSlowdown*KNL.TrainTime(st, 1000, 1) + KNL.InferTime(st, 200)
 	if math.Abs(est.Duration-wantDur) > 1e-9 {
 		t.Fatalf("Duration = %g, want %g", est.Duration, wantDur)
 	}

@@ -16,7 +16,9 @@ func (l *Log) WriteJSON(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// LoadLog reads a log written by WriteJSON.
+// LoadLog reads a log written by WriteJSON. A truncated or corrupt file —
+// including valid JSON that is not a search log — yields a descriptive
+// error rather than a zero-valued Log.
 func LoadLog(path string) (*Log, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -26,5 +28,26 @@ func LoadLog(path string) (*Log, error) {
 	if err := json.Unmarshal(data, &l); err != nil {
 		return nil, fmt.Errorf("search: parse log %s: %w", path, err)
 	}
+	if err := l.validate(); err != nil {
+		return nil, fmt.Errorf("search: invalid log %s: %w", path, err)
+	}
 	return &l, nil
+}
+
+// validate checks the fields every well-formed log must carry.
+func (l *Log) validate() error {
+	switch l.Config.Strategy {
+	case A3C, A2C, RDM, EVO:
+	case "":
+		return fmt.Errorf("missing config.Strategy (truncated or non-log JSON?)")
+	default:
+		return fmt.Errorf("unknown strategy %q", l.Config.Strategy)
+	}
+	if l.Config.Agents <= 0 {
+		return fmt.Errorf("config.Agents = %d, want > 0", l.Config.Agents)
+	}
+	if l.Bench == "" {
+		return fmt.Errorf("missing benchmark name")
+	}
+	return nil
 }

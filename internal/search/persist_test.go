@@ -3,6 +3,7 @@ package search
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -53,5 +54,42 @@ func TestLoadLogErrors(t *testing.T) {
 	}
 	if _, err := LoadLog(path); err == nil {
 		t.Fatal("expected parse error")
+	}
+}
+
+// TestLoadLogValidation: structurally valid JSON that is not a well-formed
+// search log must be rejected with a descriptive error, never returned as a
+// zero-valued Log.
+func TestLoadLogValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, json, wantErr string
+	}{
+		{"empty-object", `{}`, "Strategy"},
+		{"wrong-schema", `{"foo": 1, "bar": [2, 3]}`, "Strategy"},
+		{"unknown-strategy", `{"Bench":"Combo","Config":{"Strategy":"dqn","Agents":3}}`, "strategy"},
+		{"missing-agents", `{"Bench":"Combo","Config":{"Strategy":"a3c"}}`, "Agents"},
+		{"missing-bench", `{"Config":{"Strategy":"a3c","Agents":3}}`, "benchmark"},
+	}
+	for _, c := range cases {
+		path := filepath.Join(dir, c.name+".json")
+		if err := os.WriteFile(path, []byte(c.json), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadLog(path)
+		if err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Fatalf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+	// A minimal well-formed log still loads.
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"Bench":"Combo","SpaceName":"s","Config":{"Strategy":"rdm","Agents":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLog(good); err != nil {
+		t.Fatalf("minimal valid log rejected: %v", err)
 	}
 }

@@ -66,6 +66,14 @@ type Config struct {
 	// EvoPopulation is the per-agent population size of the EVO strategy
 	// (default 32).
 	EvoPopulation int
+	// Faults injects node failures and stragglers into the worker pool.
+	// The zero value (default) is a perfect machine and reproduces
+	// fault-free runs bit-for-bit. When Faults is enabled with Seed 0, the
+	// fault seed is derived from Config.Seed so replays stay deterministic.
+	Faults hpc.FaultModel
+	// MaxRetries caps kill-and-requeue cycles per job before terminal
+	// failure (0 means the Balsam default of 3, negative disables retries).
+	MaxRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +129,18 @@ type Log struct {
 	CacheHits int
 	// Evaluations counts real (non-cached) evaluations.
 	Evaluations int
+
+	// NodeFailures counts injected node-down events during the run.
+	NodeFailures int
+	// Retries counts kill-and-requeue cycles of jobs whose node died.
+	Retries int
+	// FailedEvals counts estimations that ended terminally failed (compile
+	// errors or jobs exceeding MaxRetries).
+	FailedEvals int
+	// PartialRounds counts agent rounds that proceeded to the policy
+	// update with a partial batch because one or more of the round's
+	// evaluations failed.
+	PartialRounds int
 }
 
 // UniqueArchitectures returns the number of distinct architectures among
@@ -134,10 +154,14 @@ func (l *Log) UniqueArchitectures() int {
 }
 
 // TopK returns the k best non-cached results by reward (ties broken by
-// earlier finish), the paper's input to post-training selection.
+// earlier finish), the paper's input to post-training selection. Failed
+// estimations carry no trained model and are skipped.
 func (l *Log) TopK(k int) []*evaluator.Result {
 	best := map[string]*evaluator.Result{}
 	for _, r := range l.Results {
+		if r.Failed {
+			continue
+		}
 		if prev, ok := best[r.Key]; !ok || r.Reward > prev.Reward {
 			best[r.Key] = r
 		}
@@ -172,6 +196,10 @@ type runner struct {
 	// consecutive counts, per agent, of fully cached rounds.
 	cachedRounds []int
 	converged    bool
+	// partialRounds counts rounds completed with a partial batch after
+	// evaluation failures.
+	partialRounds int
+	failedEvals   int
 }
 
 // agent is one searcher's state machine: an RL controller (A3C/A2C), an
@@ -183,8 +211,12 @@ type agent struct {
 	evo     *evoState      // EVO only
 	rand    *rng.Rand
 	eps     []*rl.Episode
-	pending int
-	cached  int
+	// failedEp marks episodes whose evaluation ended terminally failed;
+	// they are dropped from the policy update (partial batch).
+	failedEp []bool
+	pending  int
+	cached   int
+	failed   int
 }
 
 // Run executes one search and returns its log. The run is deterministic in
@@ -197,7 +229,14 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 		panic(fmt.Sprintf("search: unknown strategy %q", cfg.Strategy))
 	}
 	sim := hpc.NewSim()
-	service := balsam.NewService(sim, cfg.Agents*cfg.WorkersPerAgent)
+	if cfg.Faults.Enabled() && cfg.Faults.Seed == 0 {
+		cfg.Faults.Seed = cfg.Seed ^ 0xfa117
+	}
+	service := balsam.NewServiceWithOptions(sim, cfg.Agents*cfg.WorkersPerAgent, balsam.Options{
+		Faults:       cfg.Faults,
+		FaultHorizon: cfg.Horizon,
+		MaxRetries:   cfg.MaxRetries,
+	})
 	evalCfg := cfg.Eval
 	evalCfg.Seed = cfg.Seed ^ 0x5eed
 	ev := evaluator.New(sim, service, bench, sp, evalCfg)
@@ -250,6 +289,11 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 		Converged:   r.converged,
 		CacheHits:   ev.CacheHits,
 		Evaluations: service.Finished(),
+
+		NodeFailures:  service.NodeFailures(),
+		Retries:       service.Retries(),
+		FailedEvals:   r.failedEvals,
+		PartialRounds: r.partialRounds,
 	}
 	if r.psrv != nil {
 		log.PS = r.psrv.Stats()
@@ -276,6 +320,8 @@ func (a *agent) startRound() {
 	}
 	a.pending = m
 	a.cached = 0
+	a.failed = 0
+	a.failedEp = make([]bool, m)
 	for i, ep := range a.eps {
 		i, ep := i, ep
 		r.eval.Submit(a.id, ep.Choices, func(res *evaluator.Result) {
@@ -283,12 +329,33 @@ func (a *agent) startRound() {
 			if res.Cached {
 				a.cached++
 			}
+			if res.Failed {
+				a.failed++
+				a.failedEp[i] = true
+				r.failedEvals++
+			}
 			a.pending--
 			if a.pending == 0 {
 				a.roundDone()
 			}
 		})
 	}
+}
+
+// liveEps returns the round's episodes minus the failed ones. With no
+// failures it returns the batch slice itself, so fault-free runs follow the
+// exact original code path.
+func (a *agent) liveEps() []*rl.Episode {
+	if a.failed == 0 {
+		return a.eps
+	}
+	live := make([]*rl.Episode, 0, len(a.eps)-a.failed)
+	for i, ep := range a.eps {
+		if !a.failedEp[i] {
+			live = append(live, ep)
+		}
+	}
+	return live
 }
 
 func (a *agent) roundDone() {
@@ -314,8 +381,13 @@ func (a *agent) roundDone() {
 			r.endTime = r.sim.Now()
 		}
 	}
+	if a.failed > 0 {
+		// The round proceeds with whatever survived — the A2C barrier must
+		// never wait on a job the substrate has declared dead.
+		r.partialRounds++
+	}
 	if a.evo != nil {
-		a.evoRoundDone(a.eps)
+		a.evoRoundDone(a.liveEps())
 		return
 	}
 	if a.ctrl == nil {
@@ -330,14 +402,22 @@ func (a *agent) roundDone() {
 }
 
 // ppoEpoch runs PPO epoch k: compute the gradient, exchange it through the
-// parameter server, apply the average, recurse.
+// parameter server, apply the average, recurse. A round whose evaluations
+// all failed still exchanges a zero gradient, so the synchronous A2C
+// barrier completes instead of stalling the other agents forever.
 func (a *agent) ppoEpoch(k int) {
 	r := a.r
 	if k >= a.ctrl.Cfg.Epochs {
 		a.startRound()
 		return
 	}
-	grad, _ := a.ctrl.ComputeGradient(a.eps)
+	batch := a.liveEps()
+	var grad []float64
+	if len(batch) > 0 {
+		grad, _ = a.ctrl.ComputeGradient(batch)
+	} else {
+		grad = make([]float64, a.ctrl.Params().Count())
+	}
 	r.psrv.Exchange(a.id, grad, func(avg []float64) {
 		r.sim.At(r.cfg.UpdateCost, func() {
 			a.ctrl.ApplyGradient(avg)

@@ -24,6 +24,7 @@ import (
 	"nasgo/internal/candle"
 	"nasgo/internal/evaluator"
 	"nasgo/internal/experiments"
+	"nasgo/internal/hpc"
 	"nasgo/internal/modelio"
 	"nasgo/internal/nn"
 	"nasgo/internal/posttrain"
@@ -67,6 +68,10 @@ type (
 	PostTrainReport = posttrain.Report
 	// ExperimentScale sets the resource knobs of paper experiments.
 	ExperimentScale = experiments.Scale
+	// FaultModel injects deterministic node failures and stragglers into
+	// the simulated machine (SearchConfig.Faults); the zero value is a
+	// perfect machine.
+	FaultModel = hpc.FaultModel
 )
 
 // NewBenchmark builds a CANDLE benchmark ("Combo", "Uno", or "NT3").

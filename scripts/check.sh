@@ -1,0 +1,12 @@
+#!/bin/sh
+# Fast CI gate: vet the whole module, then run the pure-simulation packages
+# (no neural-net training) under the race detector. The search package only
+# runs its TestShort* fault/replay tests — the full search suite trains real
+# networks and belongs to `go test ./...`.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/
+go test -race -run TestShort ./internal/search/
+echo "check.sh: OK"
