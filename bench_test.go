@@ -324,6 +324,28 @@ func BenchmarkFaults_Resilience(b *testing.B) {
 	b.ReportMetric(float64(r.Run(search.A3C, "high").Retries), "a3c_high_retries")
 }
 
+// --- Restart chain: walltime-bounded allocations vs one long run ---
+
+func BenchmarkRestart_Chain(b *testing.B) {
+	r := experiments.Restart(benchScale)
+	writeResult(b, "restart_chain", r.Render())
+	b.ResetTimer()
+	identical := 0.0
+	for i := 0; i < b.N; i++ {
+		if r.Identical {
+			identical = 1
+		}
+	}
+	b.ReportMetric(identical, "logs_bit_identical")
+	b.ReportMetric(float64(r.Allocations), "allocations")
+	b.ReportMetric(r.Walltime, "walltime_s")
+	var total float64
+	for _, n := range r.CheckpointBytes {
+		total += float64(n)
+	}
+	b.ReportMetric(total/1024, "checkpoint_kib_total")
+}
+
 // sanity check that the analytics used above behave on live logs.
 func BenchmarkTrajectoryAnalysis(b *testing.B) {
 	f4 := experiments.Fig4("Combo", benchScale)

@@ -6,9 +6,14 @@
 //	nas-bench -exp table1 -scale quick
 //	nas-bench -exp fig9 -scale default
 //	nas-bench -exp all -scale quick -out results/
+//	nas-bench -exp restart -walltime 1200 -checkpoint results/ckpt
+//	nas-bench -resume results/ckpt/alloc-001.ckpt
 //
 // Search runs are memoized in-process, so "-exp all" shares runs between
-// figures exactly as the paper's campaign did.
+// figures exactly as the paper's campaign did. The restart experiment
+// splits one search across walltime-bounded allocations chained through
+// checkpoint files; -resume continues any saved search checkpoint to
+// completion.
 package main
 
 import (
@@ -21,15 +26,24 @@ import (
 	"time"
 
 	"nasgo"
+	"nasgo/internal/experiments"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, ...) or 'all'")
-		scale = flag.String("scale", "quick", "scale preset: quick, default, or paper")
-		out   = flag.String("out", "bench_results", "write each rendering to <out>/<exp>.txt ('' disables)")
+		exp      = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, restart, ...) or 'all'")
+		scale    = flag.String("scale", "quick", "scale preset: quick, default, or paper")
+		out      = flag.String("out", "bench_results", "write each rendering to <out>/<exp>.txt ('' disables)")
+		walltime = flag.Float64("walltime", 0, "restart experiment: virtual seconds per allocation (0 derives a third of the run)")
+		ckptDir  = flag.String("checkpoint", "", "restart experiment: keep the chain's checkpoint files in this directory")
+		resume   = flag.String("resume", "", "continue a search checkpoint file to completion, rewriting it at each further walltime cut (skips -exp)")
 	)
 	flag.Parse()
+
+	if *resume != "" {
+		resumeChain(*resume)
+		return
+	}
 
 	sc, err := nasgo.ExperimentScaleByName(*scale)
 	if err != nil {
@@ -46,9 +60,16 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		text, err := nasgo.RenderExperiment(id, sc)
-		if err != nil {
-			log.Fatal(err)
+		var text string
+		if id == "restart" && (*walltime > 0 || *ckptDir != "") {
+			text = experiments.RestartWith(sc, experiments.RestartOpts{
+				Walltime: *walltime, CheckpointDir: *ckptDir,
+			}).Render()
+		} else {
+			text, err = nasgo.RenderExperiment(id, sc)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		banner := fmt.Sprintf("==== %s (scale=%s, %s) ", id, *scale, time.Since(start).Round(time.Second))
 		fmt.Printf("%s%s\n%s\n", banner, strings.Repeat("=", max(0, 74-len(banner))), text)
@@ -58,6 +79,43 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	}
+}
+
+// resumeChain continues a checkpointed search allocation by allocation
+// until it completes, rewriting the checkpoint file at every walltime cut
+// so a killed process can pick up where it left off.
+func resumeChain(path string) {
+	ck, err := nasgo.LoadSearchCheckpoint(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench, err := nasgo.NewBenchmark(ck.Bench, nasgo.BenchmarkConfig{Seed: ck.Config.Seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := nasgo.NewSpace(ck.SpaceName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resuming %s on %s/%s: allocation %d, virtual time %.0f s, walltime %.0f s\n",
+		strings.ToUpper(ck.Config.Strategy), ck.Bench, ck.SpaceName, ck.Allocations+1, ck.Now, ck.Config.Walltime)
+	for {
+		res, next, err := nasgo.ResumeSearchAllocation(bench, sp, ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if next == nil {
+			fmt.Printf("search complete: %d results, end %.0f virtual s, converged=%v\n",
+				len(res.Results), res.EndTime, res.Converged)
+			return
+		}
+		if err := next.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("allocation %d cut at %.0f virtual s: checkpoint rewritten to %s\n",
+			next.Allocations, next.Now, path)
+		ck = next
 	}
 }
 

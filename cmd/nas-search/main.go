@@ -2,10 +2,17 @@
 // and prints its summary, reward trajectory, and top architectures. The
 // full trace can be saved as JSON for nas-analytics and nas-posttrain.
 //
-// Example:
+// With -walltime the run is bounded to one scheduler allocation of virtual
+// seconds: hitting the boundary writes a crash-consistent checkpoint and a
+// later invocation continues it with -resume, reproducing the uninterrupted
+// run bit-for-bit.
+//
+// Examples:
 //
 //	nas-search -bench Combo -space small -strategy a3c \
 //	    -agents 8 -workers 5 -horizon 10800 -out combo-a3c.json
+//	nas-search -bench Combo -walltime 3600 -checkpoint combo.ckpt
+//	nas-search -resume combo.ckpt -checkpoint combo.ckpt
 package main
 
 import (
@@ -31,33 +38,85 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "root seed (runs are deterministic in it)")
 		topK      = flag.Int("top", 10, "top architectures to print")
 		out       = flag.String("out", "", "write the full search log as JSON to this path")
+		walltime  = flag.Float64("walltime", 0, "virtual seconds per allocation; 0 runs to completion in one process")
+		ckptPath  = flag.String("checkpoint", "nas-search.ckpt", "path for the checkpoint written when -walltime cuts the run")
+		resume    = flag.String("resume", "", "continue from a checkpoint written by an earlier -walltime invocation (other search flags are taken from the checkpoint)")
 	)
 	flag.Parse()
 
-	bench, err := nasgo.NewBenchmark(*benchName, nasgo.BenchmarkConfig{Seed: *seed})
-	if err != nil {
-		log.Fatal(err)
-	}
-	sp, err := bench.Space(*spaceSize)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("search space %s: %d decisions, %.4g architectures\n",
-		sp.Name, sp.NumDecisions(), sp.Size())
+	var (
+		bench *nasgo.Benchmark
+		sp    *nasgo.Space
+		res   *nasgo.SearchLog
+		next  *nasgo.SearchCheckpoint
+		err   error
+	)
+	if *resume != "" {
+		ck, lerr := nasgo.LoadSearchCheckpoint(*resume)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		bench, err = nasgo.NewBenchmark(ck.Bench, nasgo.BenchmarkConfig{Seed: ck.Config.Seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err = nasgo.NewSpace(ck.SpaceName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("resuming %s on %s/%s from %s: allocation %d, virtual time %.0f s\n",
+			strings.ToUpper(ck.Config.Strategy), ck.Bench, ck.SpaceName, *resume, ck.Allocations+1, ck.Now)
+		res, next, err = nasgo.ResumeSearchAllocation(bench, sp, ck)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		bench, err = nasgo.NewBenchmark(*benchName, nasgo.BenchmarkConfig{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp, err = bench.Space(*spaceSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("search space %s: %d decisions, %.4g architectures\n",
+			sp.Name, sp.NumDecisions(), sp.Size())
 
-	cfg := nasgo.SearchConfig{
-		Strategy:        *strategy,
-		Agents:          *agents,
-		WorkersPerAgent: *workers,
-		Horizon:         *horizon,
-		Seed:            *seed,
+		cfg := nasgo.SearchConfig{
+			Strategy:        *strategy,
+			Agents:          *agents,
+			WorkersPerAgent: *workers,
+			Horizon:         *horizon,
+			Walltime:        *walltime,
+			Seed:            *seed,
+		}
+		cfg.Eval.Fidelity = *fidelity
+		if *walltime > 0 {
+			res, next, err = nasgo.RunSearchAllocation(bench, sp, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			res = nasgo.RunSearch(bench, sp, cfg)
+		}
 	}
-	cfg.Eval.Fidelity = *fidelity
-	res := nasgo.RunSearch(bench, sp, cfg)
 
+	if next != nil {
+		if err := next.WriteFile(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwalltime boundary at %.0f virtual s: checkpoint written to %s\n", next.Now, *ckptPath)
+		fmt.Printf("continue with: nas-search -resume %s -checkpoint %s\n", *ckptPath, *ckptPath)
+	}
+
+	cfg := res.Config
 	s := analytics.Summarize(res.Results)
-	fmt.Printf("\n%s on %s (%d agents × %d workers, %.0f virtual min)\n",
-		strings.ToUpper(*strategy), bench.Name, *agents, *workers, res.EndTime/60)
+	partial := ""
+	if next != nil {
+		partial = " [partial allocation]"
+	}
+	fmt.Printf("\n%s on %s (%d agents × %d workers, %.0f virtual min)%s\n",
+		strings.ToUpper(cfg.Strategy), bench.Name, cfg.Agents, cfg.WorkersPerAgent, res.EndTime/60, partial)
 	fmt.Printf("evaluations=%d cacheHits=%d unique=%d timeouts=%d converged=%v\n",
 		s.Evaluations, s.CacheHits, s.UniqueArchs, s.TimedOut, res.Converged)
 	fmt.Printf("best reward (%s) = %.4f, mean = %.4f\n", bench.Metric, s.BestReward, s.MeanReward)
@@ -71,7 +130,7 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(report.Chart("best reward over time", "time (min)", bench.Metric,
-		[]report.Series{{Name: strings.ToUpper(*strategy), X: xs, Y: best}}, 70, 12))
+		[]report.Series{{Name: strings.ToUpper(cfg.Strategy), X: xs, Y: best}}, 70, 12))
 
 	fmt.Printf("\ntop %d architectures by estimated reward:\n", *topK)
 	rows := make([][]string, 0, *topK)

@@ -24,6 +24,7 @@ package balsam
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nasgo/internal/hpc"
 	"nasgo/internal/rng"
@@ -78,6 +79,19 @@ type Job struct {
 	// OnDone fires when the job reaches a terminal state (JOB_FINISHED,
 	// RUN_TIMEOUT, or FAILED).
 	OnDone func(*Job)
+
+	// fire tracks the job's pending simulator event — the completion event
+	// while RUNNING, the requeue event while RUN_ERROR — so a checkpoint can
+	// capture and later re-enqueue it at the exact same (time, seq) position.
+	fire *pendingEvent
+}
+
+// pendingEvent records where one scheduled simulator event sits in the
+// queue. Closures capture the struct pointer, so the seq assigned by AtE
+// after closure creation is visible when the event fires.
+type pendingEvent struct {
+	time float64
+	seq  int64
 }
 
 // NodeState is the availability state of one worker node.
@@ -217,6 +231,19 @@ type Service struct {
 
 	stragglerRand *rng.Rand
 
+	// Fault timeline bookkeeping: the generated timeline plus, per event,
+	// its scheduled (time, seq) and whether it has fired — so a checkpoint
+	// knows exactly which injections are still ahead.
+	timeline      []hpc.NodeEvent
+	timelineTime  []float64
+	timelineSeq   []int64
+	timelineFired []bool
+
+	// stale holds orphaned completion events of killed jobs. They are
+	// behavioural no-ops but still advance the virtual clock when they fire,
+	// so checkpoints must carry them to keep resumed runs bit-identical.
+	stale []*pendingEvent
+
 	// Utilization accounting: integrals of busy and down node counts over
 	// time plus a transition log for time series.
 	lastChange   float64
@@ -250,30 +277,53 @@ func NewService(sim *hpc.Sim, nodes int) *Service {
 // NewServiceWithOptions creates a service with fault-tolerance options.
 // With the zero Options the service is indistinguishable from NewService.
 func NewServiceWithOptions(sim *hpc.Sim, nodes int, opts Options) *Service {
+	s := newService(sim, nodes, opts)
+	s.lastChange = sim.Now()
+	s.transitions = append(s.transitions, UtilizationPoint{Time: sim.Now()})
+	now := sim.Now()
+	for i, ev := range s.timeline {
+		delay := ev.Time - now
+		if delay < 0 {
+			delay = 0
+		}
+		s.scheduleTimelineEvent(i, now+delay)
+	}
+	return s
+}
+
+// newService builds the service skeleton shared by the fresh and restored
+// constructors: node pool, options, straggler stream, and the regenerated
+// (but not yet scheduled) fault timeline.
+func newService(sim *hpc.Sim, nodes int, opts Options) *Service {
 	if nodes <= 0 {
 		panic("balsam: need at least one worker node")
 	}
 	opts = opts.withDefaults()
 	s := &Service{sim: sim, pool: NewNodePool(nodes), opts: opts, jobs: map[int64]*Job{}}
-	s.lastChange = sim.Now()
-	s.transitions = append(s.transitions, UtilizationPoint{Time: sim.Now()})
 	if opts.Faults.StragglerProb > 0 {
 		s.stragglerRand = opts.Faults.StragglerStream()
 	}
-	now := sim.Now()
-	for _, ev := range opts.Faults.Timeline(nodes, opts.FaultHorizon) {
-		ev := ev
-		delay := ev.Time - now
-		if delay < 0 {
-			delay = 0
-		}
+	s.timeline = opts.Faults.Timeline(nodes, opts.FaultHorizon)
+	s.timelineTime = make([]float64, len(s.timeline))
+	s.timelineSeq = make([]int64, len(s.timeline))
+	s.timelineFired = make([]bool, len(s.timeline))
+	return s
+}
+
+// scheduleTimelineEvent enqueues timeline event i at absolute time t and
+// records its queue position for checkpointing.
+func (s *Service) scheduleTimelineEvent(i int, t float64) {
+	ev := s.timeline[i]
+	fn := func() {
+		s.timelineFired[i] = true
 		if ev.Down {
-			sim.At(delay, func() { s.nodeDown(ev.Node) })
+			s.nodeDown(ev.Node)
 		} else {
-			sim.At(delay, func() { s.nodeUp(ev.Node) })
+			s.nodeUp(ev.Node)
 		}
 	}
-	return s
+	s.timelineTime[i] = t
+	s.timelineSeq[i] = s.sim.AtTime(t, fn)
 }
 
 // Nodes returns the worker-node count.
@@ -341,14 +391,18 @@ func (s *Service) dispatch() {
 			d *= s.opts.Faults.Straggler(s.stragglerRand)
 		}
 		attempt := job.Attempts
-		s.sim.At(d, func() { s.complete(job, attempt) })
+		pe := &pendingEvent{}
+		pe.time, pe.seq = s.sim.AtE(d, func() { s.complete(job, attempt, pe) })
+		job.fire = pe
 	}
 }
 
 // complete finishes a run, unless the run was killed by a node failure
-// first (then the completion event is stale and ignored).
-func (s *Service) complete(job *Job, attempt int) {
+// first (then the completion event is stale and ignored, beyond dropping
+// itself from the stale list).
+func (s *Service) complete(job *Job, attempt int, pe *pendingEvent) {
 	if job.State != StateRunning || job.Attempts != attempt {
+		s.removeStale(pe)
 		return
 	}
 	if job.TimedOut {
@@ -357,6 +411,7 @@ func (s *Service) complete(job *Job, attempt int) {
 		job.State = StateFinished
 	}
 	job.EndTime = s.sim.Now()
+	job.fire = nil
 	s.finished++
 	s.pool.Release(job.Node)
 	job.Node = -1
@@ -365,6 +420,17 @@ func (s *Service) complete(job *Job, attempt int) {
 		job.OnDone(job)
 	}
 	s.dispatch()
+}
+
+// removeStale drops one orphaned completion event from the stale list once
+// it has fired.
+func (s *Service) removeStale(pe *pendingEvent) {
+	for i, e := range s.stale {
+		if e == pe {
+			s.stale = append(s.stale[:i], s.stale[i+1:]...)
+			return
+		}
+	}
 }
 
 // FailNode injects a scripted node failure (same path as the FaultModel
@@ -396,6 +462,12 @@ func (s *Service) nodeDown(node int) {
 func (s *Service) kill(job *Job) {
 	job.State = StateRunError
 	job.Node = -1
+	// The job's in-flight completion event is now orphaned; it fires as a
+	// no-op but still advances the clock, so track it for checkpoints.
+	if job.fire != nil {
+		s.stale = append(s.stale, job.fire)
+		job.fire = nil
+	}
 	if job.Attempts > s.opts.MaxRetries {
 		job.State = StateFailed
 		job.EndTime = s.sim.Now()
@@ -410,12 +482,15 @@ func (s *Service) kill(job *Job) {
 	if backoff > s.opts.BackoffCap {
 		backoff = s.opts.BackoffCap
 	}
-	s.sim.At(backoff, func() { s.requeue(job) })
+	pe := &pendingEvent{}
+	pe.time, pe.seq = s.sim.AtE(backoff, func() { s.requeue(job) })
+	job.fire = pe
 }
 
 // requeue puts a killed job back on the launcher queue after its backoff.
 func (s *Service) requeue(job *Job) {
 	job.State = StateRestartReady
+	job.fire = nil
 	s.queue = append(s.queue, job)
 	s.dispatch()
 }
@@ -525,4 +600,239 @@ func (s *Service) UtilizationSeries(bucket float64) []float64 {
 		}
 	}
 	return series
+}
+
+// Job returns the job with the given ID, or nil if unknown. Restored
+// services only know live (non-terminal) jobs.
+func (s *Service) Job(id int64) *Job { return s.jobs[id] }
+
+// JobRecord is one live job in a checkpoint. Payload and OnDone are not
+// serialized; the evaluator re-links them after restore via Relink.
+type JobRecord struct {
+	ID       int64
+	AgentID  int
+	Key      string
+	Duration float64
+	TimedOut bool
+	State    JobState
+	Attempts int
+	Node     int
+
+	SubmitTime, StartTime float64
+
+	// HasFire says whether the job has a pending simulator event (the
+	// completion event while RUNNING, the requeue event while RUN_ERROR),
+	// and FireTime/FireSeq where it sits in the original event queue.
+	HasFire  bool
+	FireTime float64
+	FireSeq  int64
+}
+
+// StaleEvent is an orphaned completion event of a killed job: a no-op that
+// still advances the virtual clock when it fires.
+type StaleEvent struct {
+	Time float64
+	Seq  int64
+}
+
+// TimelineEvent is one not-yet-fired fault-timeline injection, identified by
+// its index into the (purely regenerable) timeline.
+type TimelineEvent struct {
+	Index int
+	Time  float64
+	Seq   int64
+}
+
+// State is the complete serializable state of a Service at a checkpoint
+// cut: live jobs (terminal JOB_FINISHED/RUN_TIMEOUT/FAILED jobs have already
+// reported through OnDone and are dropped), the launcher queue order, node
+// availability, the straggler stream position, utilization accounting, and
+// every pending simulator event the service owns.
+type State struct {
+	NextID int64
+	// Queue lists the launcher queue front-to-back by job ID.
+	Queue []int64
+	// Jobs holds the live jobs, sorted by ID for reproducible encoding.
+	Jobs []JobRecord
+	// DownNodes lists the node indices currently failed.
+	DownNodes []int
+	// StragglerRand is nil when stragglers are disabled.
+	StragglerRand *rng.State
+
+	LastChange   float64
+	Busy, Down   int
+	BusyIntegral float64
+	DownIntegral float64
+	Transitions  []UtilizationPoint
+
+	Finished, Failed, Retries, NodeFailures int
+
+	Stale           []StaleEvent
+	PendingTimeline []TimelineEvent
+}
+
+// CaptureState snapshots the service. All slices are deep-copied.
+func (s *Service) CaptureState() *State {
+	st := &State{
+		NextID:       s.nextID,
+		LastChange:   s.lastChange,
+		Busy:         s.busy,
+		Down:         s.down,
+		BusyIntegral: s.busyIntegral,
+		DownIntegral: s.downIntegral,
+		Transitions:  append([]UtilizationPoint(nil), s.transitions...),
+		Finished:     s.finished,
+		Failed:       s.failed,
+		Retries:      s.retries,
+		NodeFailures: s.nodeFailures,
+	}
+	for _, job := range s.queue {
+		st.Queue = append(st.Queue, job.ID)
+	}
+	for _, job := range s.jobs {
+		switch job.State {
+		case StateFinished, StateTimeout, StateFailed:
+			continue
+		}
+		rec := JobRecord{
+			ID: job.ID, AgentID: job.AgentID, Key: job.Key,
+			Duration: job.Duration, TimedOut: job.TimedOut,
+			State: job.State, Attempts: job.Attempts, Node: job.Node,
+			SubmitTime: job.SubmitTime, StartTime: job.StartTime,
+		}
+		if job.fire != nil {
+			rec.HasFire = true
+			rec.FireTime = job.fire.time
+			rec.FireSeq = job.fire.seq
+		}
+		st.Jobs = append(st.Jobs, rec)
+	}
+	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
+	for i := 0; i < s.pool.Len(); i++ {
+		if s.pool.State(i) == NodeDown {
+			st.DownNodes = append(st.DownNodes, i)
+		}
+	}
+	if s.stragglerRand != nil {
+		r := s.stragglerRand.State()
+		st.StragglerRand = &r
+	}
+	for _, e := range s.stale {
+		st.Stale = append(st.Stale, StaleEvent{Time: e.time, Seq: e.seq})
+	}
+	for i := range s.timeline {
+		if !s.timelineFired[i] {
+			st.PendingTimeline = append(st.PendingTimeline, TimelineEvent{
+				Index: i, Time: s.timelineTime[i], Seq: s.timelineSeq[i],
+			})
+		}
+	}
+	return st
+}
+
+// RestoreService rebuilds a service from a captured state on a simulator
+// positioned at the checkpoint's virtual time. It returns the service plus
+// the resume events for every pending simulator event the service owned
+// (job completions, requeue backoffs, stale completions, fault injections);
+// the caller merges them with other components' frontiers and replays them
+// through hpc.ScheduleResume. Payload/OnDone of restored jobs are nil until
+// the evaluator re-links them.
+func RestoreService(sim *hpc.Sim, nodes int, opts Options, st *State) (*Service, []hpc.ResumeEvent) {
+	s := newService(sim, nodes, opts)
+	s.nextID = st.NextID
+	s.lastChange = st.LastChange
+	s.busy = st.Busy
+	s.down = st.Down
+	s.busyIntegral = st.BusyIntegral
+	s.downIntegral = st.DownIntegral
+	s.transitions = append([]UtilizationPoint(nil), st.Transitions...)
+	s.finished = st.Finished
+	s.failed = st.Failed
+	s.retries = st.Retries
+	s.nodeFailures = st.NodeFailures
+	if st.StragglerRand != nil {
+		s.stragglerRand = rng.FromState(*st.StragglerRand)
+	}
+
+	// Every timeline event is presumed fired except those the checkpoint
+	// says are still pending.
+	for i := range s.timelineFired {
+		s.timelineFired[i] = true
+	}
+
+	for _, n := range st.DownNodes {
+		s.pool.states[n] = NodeDown
+		s.pool.down++
+	}
+
+	var events []hpc.ResumeEvent
+	for _, rec := range st.Jobs {
+		rec := rec
+		job := &Job{
+			ID: rec.ID, AgentID: rec.AgentID, Key: rec.Key,
+			Duration: rec.Duration, TimedOut: rec.TimedOut,
+			State: rec.State, Attempts: rec.Attempts, Node: rec.Node,
+			SubmitTime: rec.SubmitTime, StartTime: rec.StartTime,
+		}
+		s.jobs[job.ID] = job
+		switch job.State {
+		case StateRunning:
+			s.pool.states[job.Node] = NodeBusy
+			s.pool.jobs[job.Node] = job
+			s.pool.busy++
+			if !rec.HasFire {
+				panic(fmt.Sprintf("balsam: restored RUNNING job %d has no completion event", job.ID))
+			}
+			attempt := job.Attempts
+			events = append(events, hpc.ResumeEvent{
+				Time: rec.FireTime, Seq: rec.FireSeq,
+				Schedule: func() {
+					pe := &pendingEvent{time: rec.FireTime}
+					pe.seq = s.sim.AtTime(rec.FireTime, func() { s.complete(job, attempt, pe) })
+					job.fire = pe
+				},
+			})
+		case StateRunError:
+			if !rec.HasFire {
+				panic(fmt.Sprintf("balsam: restored RUN_ERROR job %d has no requeue event", job.ID))
+			}
+			events = append(events, hpc.ResumeEvent{
+				Time: rec.FireTime, Seq: rec.FireSeq,
+				Schedule: func() {
+					pe := &pendingEvent{time: rec.FireTime}
+					pe.seq = s.sim.AtTime(rec.FireTime, func() { s.requeue(job) })
+					job.fire = pe
+				},
+			})
+		}
+	}
+	for _, id := range st.Queue {
+		job := s.jobs[id]
+		if job == nil {
+			panic(fmt.Sprintf("balsam: queued job %d missing from checkpoint", id))
+		}
+		s.queue = append(s.queue, job)
+	}
+	for _, e := range st.Stale {
+		e := e
+		events = append(events, hpc.ResumeEvent{
+			Time: e.Time, Seq: e.Seq,
+			Schedule: func() {
+				pe := &pendingEvent{time: e.Time}
+				pe.seq = s.sim.AtTime(e.Time, func() { s.removeStale(pe) })
+				s.stale = append(s.stale, pe)
+			},
+		})
+	}
+	for _, te := range st.PendingTimeline {
+		te := te
+		events = append(events, hpc.ResumeEvent{
+			Time: te.Time, Seq: te.Seq,
+			Schedule: func() {
+				s.timelineFired[te.Index] = false
+				s.scheduleTimelineEvent(te.Index, te.Time)
+			},
+		})
+	}
+	return s, events
 }

@@ -1,0 +1,127 @@
+// Package ckpt provides the crash-consistent file container used by nasgo's
+// checkpoint/restore subsystem and other persisted artifacts.
+//
+// Two guarantees matter for restartable searches on a real machine:
+//
+//   - Atomicity: a writer killed mid-write (out of walltime, node failure)
+//     must never leave a half-written file where a reader expects a valid
+//     one. AtomicWrite stages into a temp file in the target directory and
+//     renames it into place, so readers observe either the old complete file
+//     or the new complete file, never a prefix.
+//   - Self-validation: a file truncated or corrupted by the filesystem must
+//     be rejected with a descriptive error, not silently mis-decoded.
+//     WriteFile frames the payload with a magic string, a format version, an
+//     explicit length, and a SHA-256 checksum; ReadFile verifies all four.
+//
+// The container layout is:
+//
+//	[magic: 8 bytes] [version: 4 bytes BE] [payload length: 8 bytes BE]
+//	[SHA-256 of payload: 32 bytes] [payload]
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+const headerLen = 8 + 4 + 8 + sha256.Size
+
+// AtomicWrite writes a file by staging into a temp file in the same
+// directory, syncing, and renaming over the target. If write fails at any
+// point, the target is left untouched and the temp file is removed.
+func AtomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		tmpName = ""
+		return fmt.Errorf("ckpt: rename into %s: %w", path, err)
+	}
+	tmpName = "" // renamed away; nothing to clean up
+	return nil
+}
+
+// WriteFile atomically writes a framed, checksummed container. magic must be
+// exactly 8 bytes.
+func WriteFile(path, magic string, version uint32, payload []byte) error {
+	if len(magic) != 8 {
+		return fmt.Errorf("ckpt: magic %q must be 8 bytes, got %d", magic, len(magic))
+	}
+	sum := sha256.Sum256(payload)
+	return AtomicWrite(path, func(w io.Writer) error {
+		header := make([]byte, 0, headerLen)
+		header = append(header, magic...)
+		header = binary.BigEndian.AppendUint32(header, version)
+		header = binary.BigEndian.AppendUint64(header, uint64(len(payload)))
+		header = append(header, sum[:]...)
+		if _, err := w.Write(header); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
+		return err
+	})
+}
+
+// ReadFile reads and validates a container written by WriteFile, returning
+// the payload and the stored version. It rejects wrong magic, versions above
+// maxVersion, truncation at any byte, trailing garbage, and checksum
+// mismatches, each with a descriptive error.
+func ReadFile(path, magic string, maxVersion uint32) (payload []byte, version uint32, err error) {
+	if len(magic) != 8 {
+		return nil, 0, fmt.Errorf("ckpt: magic %q must be 8 bytes, got %d", magic, len(magic))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ckpt: read %s: %w", path, err)
+	}
+	if len(raw) < headerLen {
+		return nil, 0, fmt.Errorf("ckpt: %s: truncated header: %d bytes, need at least %d", path, len(raw), headerLen)
+	}
+	if string(raw[:8]) != magic {
+		return nil, 0, fmt.Errorf("ckpt: %s: bad magic %q, want %q", path, raw[:8], magic)
+	}
+	version = binary.BigEndian.Uint32(raw[8:12])
+	if version == 0 || version > maxVersion {
+		return nil, 0, fmt.Errorf("ckpt: %s: unsupported format version %d (this build reads 1..%d)", path, version, maxVersion)
+	}
+	plen := binary.BigEndian.Uint64(raw[12:20])
+	want := sha256.Size + int(plen)
+	got := len(raw) - 20
+	if uint64(got) < uint64(want) {
+		return nil, 0, fmt.Errorf("ckpt: %s: truncated payload: %d bytes after header, need %d", path, got, want)
+	}
+	if uint64(got) > uint64(want) {
+		return nil, 0, fmt.Errorf("ckpt: %s: %d trailing bytes after payload", path, got-want)
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], raw[20:20+sha256.Size])
+	payload = raw[20+sha256.Size:]
+	if actual := sha256.Sum256(payload); !bytes.Equal(actual[:], sum[:]) {
+		return nil, 0, fmt.Errorf("ckpt: %s: payload checksum mismatch (file corrupted)", path)
+	}
+	return payload, version, nil
+}

@@ -24,6 +24,7 @@ package evaluator
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nasgo/internal/balsam"
 	"nasgo/internal/candle"
@@ -161,6 +162,11 @@ type Evaluator struct {
 
 	finished map[int][]*Result // per-agent completed results (poll API)
 
+	// inflight tracks results whose virtual task is still executing on the
+	// Balsam service, keyed by job ID, so a checkpoint can capture them and
+	// Relink can re-attach callbacks after a restore.
+	inflight map[int64]*inflightRecord
+
 	// rewardTrain is the fixed low-fidelity training subset shared by all
 	// tasks (the paper trains on a fixed 10% of Combo, not a fresh random
 	// subsample per task).
@@ -188,6 +194,7 @@ func New(sim *hpc.Sim, service *balsam.Service, bench *candle.Benchmark, sp *spa
 		agentSeeds: map[int]uint64{},
 		rootRand:   rng.New(cfg.Seed ^ 0xe7a10ae),
 		finished:   map[int][]*Result{},
+		inflight:   map[int64]*inflightRecord{},
 	}
 	e.rewardTrain = bench.Train
 	if cfg.Fidelity < 1 {
@@ -205,9 +212,20 @@ func (e *Evaluator) agentSeed(agentID int) uint64 {
 	return s
 }
 
+// inflightRecord pairs an in-flight result with the cache it may occupy.
+type inflightRecord struct {
+	res     *Result
+	cacheID int
+	inCache bool
+}
+
 // Submit schedules one reward estimation; onDone fires (in virtual time)
 // with the result. Cache hits complete immediately via a zero-delay event.
-func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
+// It returns the Balsam job ID of the launched task, or 0 when the
+// submission completed without a task (cache hit or compile failure) —
+// zero-delay deliveries always fire within the current timestep, so only
+// real tasks can be in flight at a checkpoint cut.
+func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int64 {
 	key := e.Space.Hash(choices)
 	cacheID := agentID
 	if e.Cfg.GlobalCache {
@@ -228,7 +246,7 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 			e.record(&res)
 			onDone(&res)
 		})
-		return
+		return 0
 	}
 
 	// Virtual plan at paper dimensions. A malformed architecture must not
@@ -236,7 +254,7 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 	paperIR, err := e.Space.Compile(choices, e.Space.PaperInputDims(), 1.0)
 	if err != nil {
 		e.failCompile(agentID, key, choices, fmt.Sprintf("compile at paper dims: %v", err), onDone)
-		return
+		return 0
 	}
 	stats := paperIR.Stats()
 	virtTrainSamples := int(float64(e.Bench.PaperTrainSamples) * e.Cfg.Fidelity)
@@ -255,7 +273,7 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 	metric, err := e.realReward(agentID, choices, plan)
 	if err != nil {
 		e.failCompile(agentID, key, choices, err.Error(), onDone)
-		return
+		return 0
 	}
 	reward := e.shapeReward(metric, stats)
 
@@ -269,32 +287,52 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) {
 		TimedOut: plan.TimedOut,
 		Duration: plan.Duration,
 	}
-	cache[key] = res
-	e.service.Submit(&balsam.Job{
+	if !isFinite(reward) {
+		// A diverged training run (NaN/Inf loss) must surface as a failed
+		// evaluation, not poison the agent's policy update or the cache.
+		// The virtual task still runs, so timing dynamics are unchanged.
+		res.Failed = true
+		res.Err = fmt.Sprintf("evaluator: non-finite reward %g", reward)
+		res.Reward = 0
+	} else {
+		cache[key] = res
+	}
+	id := e.service.Submit(&balsam.Job{
 		AgentID:  agentID,
 		Key:      key,
 		Duration: plan.Duration,
 		TimedOut: plan.TimedOut,
 		Payload:  res,
-		OnDone: func(j *balsam.Job) {
-			res.FinishTime = e.sim.Now()
-			res.Attempts = j.Attempts
-			if j.State == balsam.StateFailed {
-				// Every attempt was killed by a node failure: no reward,
-				// and the estimation must not be served from cache later.
-				res.Failed = true
-				res.Err = "all execution attempts killed by node failures"
-				res.Reward = 0
-				res.TimedOut = false
-				if cache[key] == res {
-					delete(cache, key)
-				}
-			}
-			e.record(res)
-			onDone(res)
-		},
+		OnDone:   e.jobOnDone(res, cacheID, onDone),
 	})
+	e.inflight[id] = &inflightRecord{res: res, cacheID: cacheID, inCache: !res.Failed}
+	return id
 }
+
+// jobOnDone builds the completion callback of one in-flight task. Factored
+// out so Relink can rebuild the exact same callback on a restored service.
+func (e *Evaluator) jobOnDone(res *Result, cacheID int, onDone func(*Result)) func(*balsam.Job) {
+	return func(j *balsam.Job) {
+		delete(e.inflight, j.ID)
+		res.FinishTime = e.sim.Now()
+		res.Attempts = j.Attempts
+		if j.State == balsam.StateFailed {
+			// Every attempt was killed by a node failure: no reward,
+			// and the estimation must not be served from cache later.
+			res.Failed = true
+			res.Err = "all execution attempts killed by node failures"
+			res.Reward = 0
+			res.TimedOut = false
+			if cache := e.caches[cacheID]; cache[res.Key] == res {
+				delete(cache, res.Key)
+			}
+		}
+		e.record(res)
+		onDone(res)
+	}
+}
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // failCompile delivers a Failed result for an architecture that cannot be
 // compiled. Compile failures are deterministic, but they are still not
@@ -386,6 +424,131 @@ func (e *Evaluator) shapeReward(metric float64, st space.ArchStats) float64 {
 		r -= e.Cfg.TimeWeight * math.Log10(t/60+1)
 	}
 	return r
+}
+
+// InflightState is one not-yet-completed reward estimation in a checkpoint.
+type InflightState struct {
+	JobID   int64
+	CacheID int
+	// InCache says whether the result occupies its agent's cache (false for
+	// results pre-marked Failed by the non-finite-reward guard).
+	InCache bool
+	Result  Result
+}
+
+// State is the complete serializable state of an Evaluator: the per-agent
+// caches, the agent seed assignments and root stream position, counters, the
+// completion-order trace, and the in-flight tasks. The GetFinishedEvals poll
+// buffers are deliberately not captured: the event-driven search path
+// consumes results through callbacks, so the buffers are empty whenever a
+// checkpoint is taken.
+type State struct {
+	Caches     map[int]map[string]Result
+	AgentSeeds map[int]uint64
+	RootRand   rng.State
+	CacheHits  int
+	Trace      []Result
+	Inflight   []InflightState
+}
+
+// CaptureState snapshots the evaluator. Results are deep-copied.
+func (e *Evaluator) CaptureState() *State {
+	st := &State{
+		Caches:     map[int]map[string]Result{},
+		AgentSeeds: map[int]uint64{},
+		RootRand:   e.rootRand.State(),
+		CacheHits:  e.CacheHits,
+	}
+	for id, cache := range e.caches {
+		m := map[string]Result{}
+		for k, r := range cache {
+			m[k] = valueOf(r)
+		}
+		st.Caches[id] = m
+	}
+	for id, s := range e.agentSeeds {
+		st.AgentSeeds[id] = s
+	}
+	for _, r := range e.Trace {
+		st.Trace = append(st.Trace, valueOf(r))
+	}
+	for id, rec := range e.inflight {
+		st.Inflight = append(st.Inflight, InflightState{
+			JobID: id, CacheID: rec.cacheID, InCache: rec.inCache,
+			Result: valueOf(rec.res),
+		})
+	}
+	sort.Slice(st.Inflight, func(i, j int) bool { return st.Inflight[i].JobID < st.Inflight[j].JobID })
+	return st
+}
+
+// Restore rebuilds an evaluator from a captured state over a restored Balsam
+// service. It runs the normal constructor first (replaying the fidelity
+// subsampling draws, so the training subset is identical), then overwrites
+// the mutable state. In-flight jobs are registered but their callbacks stay
+// detached until the owner calls Relink for each.
+func Restore(sim *hpc.Sim, service *balsam.Service, bench *candle.Benchmark, sp *space.Space, cfg Config, st *State) *Evaluator {
+	e := New(sim, service, bench, sp, cfg)
+	e.rootRand.SetState(st.RootRand)
+	e.CacheHits = st.CacheHits
+	for id, cache := range st.Caches {
+		m := map[string]*Result{}
+		for k, r := range cache {
+			m[k] = pointerTo(r)
+		}
+		e.caches[id] = m
+	}
+	for id, s := range st.AgentSeeds {
+		e.agentSeeds[id] = s
+	}
+	for _, r := range st.Trace {
+		e.Trace = append(e.Trace, pointerTo(r))
+	}
+	for _, rec := range st.Inflight {
+		res := pointerTo(rec.Result)
+		e.inflight[rec.JobID] = &inflightRecord{res: res, cacheID: rec.CacheID, inCache: rec.InCache}
+		if rec.InCache {
+			// Re-establish pointer identity between the in-flight result and
+			// its cache slot, so a later FAILED completion evicts it.
+			cache := e.caches[rec.CacheID]
+			if cache == nil {
+				cache = map[string]*Result{}
+				e.caches[rec.CacheID] = cache
+			}
+			cache[res.Key] = res
+		}
+	}
+	return e
+}
+
+// Relink re-attaches the payload and completion callback of one restored
+// in-flight job. The owner must call it for every in-flight job before
+// resuming the simulation; InflightCount reports how many there are.
+func (e *Evaluator) Relink(jobID int64, onDone func(*Result)) {
+	rec := e.inflight[jobID]
+	if rec == nil {
+		panic(fmt.Sprintf("evaluator: Relink of unknown in-flight job %d", jobID))
+	}
+	job := e.service.Job(jobID)
+	if job == nil {
+		panic(fmt.Sprintf("evaluator: in-flight job %d missing from restored service", jobID))
+	}
+	job.Payload = rec.res
+	job.OnDone = e.jobOnDone(rec.res, rec.cacheID, onDone)
+}
+
+// InflightCount returns the number of in-flight reward estimations.
+func (e *Evaluator) InflightCount() int { return len(e.inflight) }
+
+func valueOf(r *Result) Result {
+	v := *r
+	v.Choices = append([]int(nil), r.Choices...)
+	return v
+}
+
+func pointerTo(r Result) *Result {
+	r.Choices = append([]int(nil), r.Choices...)
+	return &r
 }
 
 func hashKey(s string) uint64 {

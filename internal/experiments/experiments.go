@@ -157,6 +157,6 @@ func Names() []string {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "table1",
 		"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-		"ablation-evolution", "multiobjective", "faults",
+		"ablation-evolution", "multiobjective", "faults", "restart",
 	}
 }

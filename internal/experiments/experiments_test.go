@@ -184,6 +184,31 @@ func TestFaultsExperiment(t *testing.T) {
 	}
 }
 
+func TestRestartExperiment(t *testing.T) {
+	ResetCache()
+	r := Restart(microScale)
+	if !r.Identical {
+		t.Fatal("chained run's log is not bit-identical to the uninterrupted run")
+	}
+	if r.Allocations < 3 {
+		t.Fatalf("chain used %d allocations, want >= 3", r.Allocations)
+	}
+	if len(r.CheckpointBytes) != r.Allocations-1 {
+		t.Fatalf("%d checkpoints for %d allocations", len(r.CheckpointBytes), r.Allocations)
+	}
+	// The uninterrupted arm shares the memoized Fig 4/5 run.
+	f4 := Fig4("Combo", microScale)
+	if r.Uninterrupted != f4.Runs[0].Log {
+		t.Fatal("restart experiment re-ran the Fig 4 search")
+	}
+	out := r.Render()
+	for _, want := range []string{"uninterrupted", "chained", "bit-identical", "YES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestNamesCoveredByRender(t *testing.T) {
 	// Every listed experiment id must be dispatchable (checked without
 	// executing: unknown ids error immediately, so probe with a scale
@@ -194,7 +219,7 @@ func TestNamesCoveredByRender(t *testing.T) {
 		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "fig12", "fig13", "table1",
 			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-			"ablation-evolution", "multiobjective", "faults":
+			"ablation-evolution", "multiobjective", "faults", "restart":
 		default:
 			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
 		}

@@ -152,6 +152,8 @@ func Render(id string, sc Scale) (string, error) {
 		return MultiObjective(sc).Render(), nil
 	case "faults":
 		return Faults(sc).Render(), nil
+	case "restart":
+		return Restart(sc).Render(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(Names(), ", "))
 	}

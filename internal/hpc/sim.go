@@ -22,6 +22,7 @@ package hpc
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 )
 
 // event is one scheduled callback. seq breaks time ties FIFO so simulations
@@ -64,6 +65,10 @@ type Sim struct {
 // NewSim returns a simulator at time zero.
 func NewSim() *Sim { return &Sim{} }
 
+// NewSimAt returns a simulator whose clock starts at the given virtual
+// time — the entry point for resuming a checkpointed simulation.
+func NewSimAt(now float64) *Sim { return &Sim{now: now} }
+
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
@@ -75,6 +80,33 @@ func (s *Sim) At(delay float64, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// AtE schedules like At and additionally returns the event's absolute fire
+// time and sequence number. Components that checkpoint their pending events
+// record both: the time says when to refire on resume, and the sequence
+// number preserves the original relative order of same-time events.
+func (s *Sim) AtE(delay float64, fn func()) (time float64, seq int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("hpc: negative delay %g", delay))
+	}
+	s.seq++
+	t := s.now + delay
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	return t, s.seq
+}
+
+// AtTime schedules fn at the absolute virtual time t (which must not lie in
+// the past) and returns the event's sequence number. Unlike At(t-now), the
+// fire time is installed exactly, with no floating-point round trip — a
+// resumed event must fire at bit-for-bit the same instant it would have.
+func (s *Sim) AtTime(t float64, fn func()) int64 {
+	if t < s.now {
+		panic(fmt.Sprintf("hpc: AtTime %g before now %g", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	return s.seq
 }
 
 // Step runs the next event, returning false when the queue is empty.
@@ -110,6 +142,21 @@ func (s *Sim) Run(until float64) int {
 	return n
 }
 
+// RunUntil processes events with fire time ≤ until and reports whether the
+// queue drained. Unlike Run it never advances the clock past the last
+// processed event, so a drained simulation ends at exactly the same virtual
+// time whether or not a horizon was supplied — the invariant that makes a
+// walltime-chained search log byte-identical to an uninterrupted one.
+func (s *Sim) RunUntil(until float64) bool {
+	for s.queue.Len() > 0 {
+		if s.queue[0].time > until {
+			return false
+		}
+		s.Step()
+	}
+	return true
+}
+
 // RunAll processes every queued event regardless of horizon.
 func (s *Sim) RunAll() int {
 	n := 0
@@ -121,3 +168,30 @@ func (s *Sim) RunAll() int {
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return s.queue.Len() }
+
+// ResumeEvent is one pending event captured at a checkpoint cut: its
+// absolute fire time, its sequence number in the original simulator (which
+// encodes the relative order of same-time events), and a Schedule function
+// that re-enqueues it — typically via AtTime — on the restored simulator.
+type ResumeEvent struct {
+	Time     float64
+	Seq      int64
+	Schedule func()
+}
+
+// ScheduleResume replays a captured event frontier: it sorts the events by
+// (Time, Seq) and invokes each Schedule in that order. Because a fresh
+// simulator assigns strictly increasing sequence numbers, the re-enqueued
+// events tie-break among themselves — and against everything scheduled
+// later — exactly as they did in the original run.
+func ScheduleResume(events []ResumeEvent) {
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Time != events[j].Time {
+			return events[i].Time < events[j].Time
+		}
+		return events[i].Seq < events[j].Seq
+	})
+	for _, ev := range events {
+		ev.Schedule()
+	}
+}

@@ -16,8 +16,10 @@ package modelio
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 
+	"nasgo/internal/ckpt"
 	"nasgo/internal/nn"
 	"nasgo/internal/rng"
 	"nasgo/internal/space"
@@ -52,15 +54,12 @@ func Save(path string, sp *space.Space, choices []int, inputDims []int, unitScal
 		UnitScale: unitScale,
 		Values:    m.Params().FlattenValues(),
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := gob.NewEncoder(f).Encode(&s); err != nil {
-		return fmt.Errorf("modelio: encode %s: %w", path, err)
-	}
-	return f.Close()
+	return ckpt.AtomicWrite(path, func(w io.Writer) error {
+		if err := gob.NewEncoder(w).Encode(&s); err != nil {
+			return fmt.Errorf("modelio: encode %s: %w", path, err)
+		}
+		return nil
+	})
 }
 
 // Load reads a model whose space is in the catalog (combo-small etc.).

@@ -6,6 +6,7 @@
 package optim
 
 import (
+	"fmt"
 	"math"
 
 	"nasgo/internal/nn"
@@ -71,6 +72,57 @@ func NewAdam(lr float64) *Adam {
 		m: make(map[*nn.Param][]float64),
 		v: make(map[*nn.Param][]float64),
 	}
+}
+
+// AdamState is the complete serializable state of an Adam optimizer over a
+// fixed parameter set: the step counter and the first/second moments
+// flattened in ParamSet order. Restoring it into a freshly built optimizer
+// continues the update sequence bit-for-bit.
+type AdamState struct {
+	T int
+	M []float64
+	V []float64
+}
+
+// CaptureState flattens the optimizer's moments in the order of params.
+// Parameters the optimizer has not yet touched contribute zeros, matching
+// the lazy initialization Step performs.
+func (a *Adam) CaptureState(params *nn.ParamSet) AdamState {
+	st := AdamState{T: a.t}
+	n := params.Count()
+	st.M = make([]float64, 0, n)
+	st.V = make([]float64, 0, n)
+	for _, p := range params.List() {
+		m, v := a.m[p], a.v[p]
+		if m == nil {
+			m = make([]float64, p.Size())
+			v = make([]float64, p.Size())
+		}
+		st.M = append(st.M, m...)
+		st.V = append(st.V, v...)
+	}
+	return st
+}
+
+// RestoreState installs a captured state, keyed to the given parameter set
+// (which must have the same flattened length as the one captured from).
+func (a *Adam) RestoreState(params *nn.ParamSet, st AdamState) error {
+	n := params.Count()
+	if len(st.M) != n || len(st.V) != n {
+		return fmt.Errorf("optim: Adam state has %d/%d moments, parameter set has %d values",
+			len(st.M), len(st.V), n)
+	}
+	a.t = st.T
+	a.m = make(map[*nn.Param][]float64)
+	a.v = make(map[*nn.Param][]float64)
+	off := 0
+	for _, p := range params.List() {
+		size := p.Size()
+		a.m[p] = append([]float64(nil), st.M[off:off+size]...)
+		a.v[p] = append([]float64(nil), st.V[off:off+size]...)
+		off += size
+	}
+	return nil
 }
 
 // Step applies one Adam update.

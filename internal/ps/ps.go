@@ -63,9 +63,11 @@ type Server struct {
 	sim *hpc.Sim
 	cfg Config
 
-	// Sync state.
-	pending [][]float64
-	waiters []func([]float64)
+	// Sync state. pendingAgents parallels pending so a checkpoint can
+	// reconstruct which agent is parked at the barrier.
+	pending       [][]float64
+	pendingAgents []int
+	waiters       []func([]float64)
 	// Async state.
 	window [][]float64
 	// Staleness accounting.
@@ -74,8 +76,21 @@ type Server struct {
 	staleSum     float64
 	staleN       int
 
+	// inflight tracks scheduled-but-undelivered averaged gradients, so a
+	// checkpoint cut between the exchange and its delivery can be resumed.
+	inflight []*delivery
+
 	exchanges int
 	rounds    int
+}
+
+// delivery is one averaged gradient on its way back to an agent.
+type delivery struct {
+	agentID int
+	avg     []float64
+	time    float64
+	seq     int64
+	fn      func([]float64)
 }
 
 // NewServer creates a parameter server on the given simulator.
@@ -104,18 +119,20 @@ func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64))
 	switch s.cfg.Mode {
 	case Sync:
 		s.pending = append(s.pending, grad)
+		s.pendingAgents = append(s.pendingAgents, agentID)
 		s.waiters = append(s.waiters, done)
 		if len(s.pending) < s.cfg.Agents {
 			return
 		}
 		avg := average(s.pending)
 		waiters := s.waiters
+		agents := s.pendingAgents
 		s.pending = nil
+		s.pendingAgents = nil
 		s.waiters = nil
 		s.rounds++
-		for _, w := range waiters {
-			w := w
-			s.sim.At(s.cfg.Latency, func() { w(avg) })
+		for i, w := range waiters {
+			s.deliver(agents[i], avg, w)
 		}
 	case Async:
 		s.window = append(s.window, grad)
@@ -123,14 +140,139 @@ func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64))
 			s.window = s.window[len(s.window)-s.cfg.Window:]
 		}
 		avg := average(s.window)
-		s.sim.At(s.cfg.Latency, func() { done(avg) })
+		s.deliver(agentID, avg, done)
 	default:
 		panic(fmt.Sprintf("ps: unknown mode %d", s.cfg.Mode))
 	}
 }
 
+// deliver schedules one averaged gradient for delivery after the exchange
+// latency, tracking it until it fires so checkpoints can capture it.
+func (s *Server) deliver(agentID int, avg []float64, fn func([]float64)) {
+	d := &delivery{agentID: agentID, avg: avg, fn: fn}
+	d.time, d.seq = s.sim.AtE(s.cfg.Latency, func() { s.fire(d) })
+	s.inflight = append(s.inflight, d)
+}
+
+// redeliver re-enqueues a restored delivery at its original absolute fire
+// time (ScheduleResume establishes the cross-component ordering).
+func (s *Server) redeliver(agentID int, avg []float64, t float64, fn func([]float64)) {
+	d := &delivery{agentID: agentID, avg: avg, fn: fn, time: t}
+	d.seq = s.sim.AtTime(t, func() { s.fire(d) })
+	s.inflight = append(s.inflight, d)
+}
+
+func (s *Server) fire(d *delivery) {
+	for i, in := range s.inflight {
+		if in == d {
+			s.inflight = append(s.inflight[:i], s.inflight[i+1:]...)
+			break
+		}
+	}
+	d.fn(d.avg)
+}
+
 // PendingSync returns how many agents are waiting at the Sync barrier.
 func (s *Server) PendingSync() int { return len(s.pending) }
+
+// DeliveryState is one in-flight averaged gradient in a checkpoint.
+type DeliveryState struct {
+	AgentID int
+	Avg     []float64
+	Time    float64
+	Seq     int64
+}
+
+// State is the complete serializable state of a Server: counters, the Async
+// window, the Sync barrier (gradients plus the agents parked at it, in
+// arrival order), and in-flight deliveries. Waiter callbacks are not part of
+// the state — RestoreServer rebuilds them from the agent IDs.
+type State struct {
+	Exchanges, Rounds int
+	Arrival           int64
+	LastExchange      map[int]int64
+	StaleSum          float64
+	StaleN            int
+	Window            [][]float64
+	PendingGrads      [][]float64
+	PendingAgents     []int
+	Inflight          []DeliveryState
+}
+
+// CaptureState snapshots the server. All slices are deep-copied, so the
+// state stays valid after the live server moves on.
+func (s *Server) CaptureState() *State {
+	st := &State{
+		Exchanges:     s.exchanges,
+		Rounds:        s.rounds,
+		Arrival:       s.arrival,
+		LastExchange:  map[int]int64{},
+		StaleSum:      s.staleSum,
+		StaleN:        s.staleN,
+		Window:        copyGrads(s.window),
+		PendingGrads:  copyGrads(s.pending),
+		PendingAgents: append([]int(nil), s.pendingAgents...),
+	}
+	for id, a := range s.lastExchange {
+		st.LastExchange[id] = a
+	}
+	for _, d := range s.inflight {
+		st.Inflight = append(st.Inflight, DeliveryState{
+			AgentID: d.agentID,
+			Avg:     append([]float64(nil), d.avg...),
+			Time:    d.time,
+			Seq:     d.seq,
+		})
+	}
+	return st
+}
+
+// RestoreServer rebuilds a server from a captured state. The waiter factory
+// supplies, per agent, the continuation an averaged gradient should invoke
+// (the same continuation Exchange would have been given); it is used both
+// for agents parked at the Sync barrier and for in-flight deliveries. The
+// returned resume events re-enqueue the deliveries; the caller passes them
+// to hpc.ScheduleResume together with every other component's frontier.
+func RestoreServer(sim *hpc.Sim, cfg Config, st *State, waiter func(agentID int) func([]float64)) (*Server, []hpc.ResumeEvent) {
+	s := NewServer(sim, cfg)
+	s.exchanges = st.Exchanges
+	s.rounds = st.Rounds
+	s.arrival = st.Arrival
+	for id, a := range st.LastExchange {
+		s.lastExchange[id] = a
+	}
+	s.staleSum = st.StaleSum
+	s.staleN = st.StaleN
+	s.window = copyGrads(st.Window)
+	s.pending = copyGrads(st.PendingGrads)
+	s.pendingAgents = append([]int(nil), st.PendingAgents...)
+	for _, id := range s.pendingAgents {
+		s.waiters = append(s.waiters, waiter(id))
+	}
+	var events []hpc.ResumeEvent
+	for _, d := range st.Inflight {
+		d := d
+		events = append(events, hpc.ResumeEvent{
+			Time: d.Time,
+			Seq:  d.Seq,
+			Schedule: func() {
+				s.redeliver(d.AgentID, append([]float64(nil), d.Avg...), d.Time, waiter(d.AgentID))
+			},
+		})
+	}
+	return s, events
+}
+
+func copyGrads(gs [][]float64) [][]float64 {
+	if gs == nil {
+		return nil
+	}
+	out := make([][]float64, len(gs))
+	for i, g := range gs {
+		out[i] = append([]float64(nil), g...)
+	}
+	return out
+}
 
 // Stats returns aggregate behaviour counters.
 func (s *Server) Stats() Stats {

@@ -115,6 +115,41 @@ func NewController(s *space.Space, seed uint64, cfg Config) *Controller {
 // deterministic order shared by every controller built over the same space.
 func (c *Controller) Params() *nn.ParamSet { return c.params }
 
+// ControllerState is the complete serializable state of a controller: the
+// flattened policy/value parameters, the Adam moments, and the sampling
+// stream. Restoring it into a controller freshly built over the same space
+// with the same hyperparameters continues the run bit-for-bit.
+type ControllerState struct {
+	Values []float64
+	Opt    optim.AdamState
+	Rand   rng.State
+}
+
+// CaptureState snapshots the controller without perturbing it.
+func (c *Controller) CaptureState() *ControllerState {
+	return &ControllerState{
+		Values: c.params.FlattenValues(),
+		Opt:    c.opt.CaptureState(c.params),
+		Rand:   c.rand.State(),
+	}
+}
+
+// RestoreState installs a captured state. The controller must have been
+// built over the same search space and configuration as the captured one;
+// a parameter-count mismatch yields a descriptive error.
+func (c *Controller) RestoreState(st *ControllerState) error {
+	if len(st.Values) != c.params.Count() {
+		return fmt.Errorf("rl: state has %d parameter values, controller has %d (space or config drifted?)",
+			len(st.Values), c.params.Count())
+	}
+	c.params.SetValues(st.Values)
+	if err := c.opt.RestoreState(c.params, st.Opt); err != nil {
+		return fmt.Errorf("rl: %w", err)
+	}
+	c.rand.SetState(st.Rand)
+	return nil
+}
+
 // onehotInputs builds the step-t input matrix for a batch of episodes:
 // the one-hot of each episode's previous action, or the start token at t=0.
 func (c *Controller) onehotInputs(eps []*Episode, t int) *tensor.Tensor {

@@ -52,6 +52,37 @@ func New(seed uint64) *Rand {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// State is the complete serializable state of a Rand: the xoshiro256**
+// words plus the Box-Muller spare. A generator restored from a State emits
+// exactly the tail sequence the captured generator would have emitted —
+// the property the checkpoint/resume subsystem builds on.
+type State struct {
+	S [4]uint64
+	// Spare and HasSpare capture the cached Box-Muller deviate, so Norm
+	// sequences survive a save/restore mid-pair.
+	Spare    float64
+	HasSpare bool
+}
+
+// State captures r's current state without advancing it.
+func (r *Rand) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// SetState overwrites r with a previously captured state.
+func (r *Rand) SetState(st State) {
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
+}
+
+// FromState builds a generator positioned at a previously captured state.
+func FromState(st State) *Rand {
+	r := &Rand{}
+	r.SetState(st)
+	return r
+}
+
 // Uint64 returns the next 64 uniformly random bits (xoshiro256**).
 func (r *Rand) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

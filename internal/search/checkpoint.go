@@ -1,0 +1,399 @@
+// Checkpoint/restore: walltime-bounded allocations.
+//
+// The paper's 6-hour searches run inside scheduler allocations on Theta; a
+// real campaign outlives any single allocation, so the infrastructure must
+// stop cleanly at the walltime boundary and continue in the next allocation
+// as if nothing happened. nasgo implements this as an exact cut of the
+// discrete-event simulation:
+//
+//   - RunAllocation processes every event with virtual time ≤ the walltime
+//     boundary (hpc.Sim.RunUntil), so the cut always falls between events,
+//     never inside one. All still-pending events lie strictly beyond the
+//     boundary.
+//   - The Checkpoint then captures the complete search state: per-agent
+//     policy/value parameters and Adam moments (rl, optim), every RNG
+//     stream position (rng), the reward-estimation caches and in-flight
+//     task records (evaluator), queued/running/backing-off Balsam job
+//     states plus the not-yet-injected fault timeline (balsam), the
+//     parameter-server barrier/window/deliveries (ps), each agent's control
+//     phase, and the partial Log. Pending events are captured as data —
+//     absolute fire time plus original sequence number.
+//   - ResumeAllocation rebuilds every component through the same
+//     constructor code paths (replaying the construction-time RNG draws),
+//     overwrites their state, re-enqueues the captured event frontier in
+//     (time, seq) order (hpc.ScheduleResume), and continues to the next
+//     boundary.
+//
+// Because the cut is exact — no draining, no reordering, no re-drawn
+// randomness — a run chained across any number of allocations produces a
+// log bit-identical to the uninterrupted run, including under node
+// failures and stragglers.
+package search
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"nasgo/internal/balsam"
+	"nasgo/internal/candle"
+	"nasgo/internal/ckpt"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/hpc"
+	"nasgo/internal/ps"
+	"nasgo/internal/rl"
+	"nasgo/internal/rng"
+	"nasgo/internal/space"
+)
+
+// EpisodeState is one sampled architecture of an agent's current round.
+type EpisodeState struct {
+	Choices []int
+	OldLogP []float64
+	Reward  float64
+}
+
+// EvoAgentState is an EVO agent's population.
+type EvoAgentState struct {
+	Population []EvoMemberState
+	Capacity   int
+	Rand       rng.State
+}
+
+// EvoMemberState is one population member.
+type EvoMemberState struct {
+	Choices []int
+	Reward  float64
+}
+
+// AgentState is one agent's complete checkpointed state.
+type AgentState struct {
+	Phase    int
+	CurEpoch int
+	Episodes []EpisodeState
+	FailedEp []bool
+	Pending  int
+	Cached   int
+	Failed   int
+	// PendingJobs maps episode index → in-flight Balsam job ID (0 when the
+	// result has already been delivered).
+	PendingJobs []int64
+	// PendingAvg is the averaged gradient awaiting its UpdateCost event
+	// (phaseUpdate only).
+	PendingAvg []float64
+	// EvTime/EvSeq locate the agent's own pending event (UpdateCost delay
+	// or RDM/EVO round wait) in the original event queue.
+	EvTime float64
+	EvSeq  int64
+	Rand   rng.State
+	Ctrl   *rl.ControllerState
+	Evo    *EvoAgentState
+}
+
+// Checkpoint is the complete state of an interrupted search: everything
+// needed to continue the run bit-for-bit in a later allocation.
+type Checkpoint struct {
+	Bench     string
+	SpaceName string
+	// Config is the fully defaulted configuration, including the derived
+	// fault seed, so a resume never re-derives anything differently.
+	Config Config
+
+	// Now is the virtual time of the cut (the last processed event);
+	// Boundary is the walltime boundary the allocation ran to. The next
+	// allocation runs to Boundary + Config.Walltime.
+	Now      float64
+	Boundary float64
+	// Allocations counts walltime allocations completed so far.
+	Allocations int
+
+	Stopped       bool
+	Converged     bool
+	EndTime       float64
+	CachedRounds  []int
+	PartialRounds int
+	FailedEvals   int
+
+	Agents  []AgentState
+	Eval    *evaluator.State
+	Service *balsam.State
+	PS      *ps.State
+
+	// Partial is the analytics log as of the cut — the same Log an
+	// uninterrupted run would report if it ended here.
+	Partial *Log
+}
+
+// RunAllocation starts a walltime-bounded search allocation from scratch.
+// It returns (finalLog, nil, nil) when the search completed within the
+// allocation, or (partialLog, checkpoint, nil) when it hit the walltime
+// boundary; pass the checkpoint to ResumeAllocation (possibly in a later
+// process, via WriteFile/LoadCheckpoint) to continue.
+func RunAllocation(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, *Checkpoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Walltime <= 0 {
+		return nil, nil, fmt.Errorf("search: RunAllocation needs Walltime > 0 virtual seconds, got %g", cfg.Walltime)
+	}
+	r := newRunner(bench, sp, cfg)
+	r.boundary = r.cfg.Walltime
+	r.start()
+	return r.finishAllocation()
+}
+
+// ResumeAllocation continues a checkpointed search for one more walltime
+// allocation. The benchmark and space must be the ones the checkpoint was
+// taken from.
+func ResumeAllocation(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint) (*Log, *Checkpoint, error) {
+	if bench.Name != ck.Bench {
+		return nil, nil, fmt.Errorf("search: checkpoint is for benchmark %q, resume got %q", ck.Bench, bench.Name)
+	}
+	if sp.Name != ck.SpaceName {
+		return nil, nil, fmt.Errorf("search: checkpoint is for space %q, resume got %q", ck.SpaceName, sp.Name)
+	}
+	cfg := ck.Config
+	sim := hpc.NewSimAt(ck.Now)
+	service, events := balsam.RestoreService(sim, cfg.Agents*cfg.WorkersPerAgent, balsam.Options{
+		Faults:       cfg.Faults,
+		FaultHorizon: cfg.Horizon,
+		MaxRetries:   cfg.MaxRetries,
+	}, ck.Service)
+	evalCfg := cfg.Eval
+	evalCfg.Seed = cfg.Seed ^ 0x5eed
+	ev := evaluator.Restore(sim, service, bench, sp, evalCfg, ck.Eval)
+
+	r := &runner{
+		cfg:           cfg,
+		bench:         bench,
+		sim:           sim,
+		service:       service,
+		eval:          ev,
+		space:         sp,
+		stopped:       ck.Stopped,
+		endTime:       ck.EndTime,
+		cachedRounds:  append([]int(nil), ck.CachedRounds...),
+		converged:     ck.Converged,
+		partialRounds: ck.PartialRounds,
+		failedEvals:   ck.FailedEvals,
+		boundary:      ck.Boundary + cfg.Walltime,
+		allocations:   ck.Allocations,
+	}
+
+	// Rebuild the agents through the identical constructor draw sequence,
+	// then overwrite their checkpointed state.
+	r.buildAgents(rng.New(cfg.Seed))
+	if len(ck.Agents) != len(r.agents) {
+		return nil, nil, fmt.Errorf("search: checkpoint has %d agents, config builds %d", len(ck.Agents), len(r.agents))
+	}
+	for i := range ck.Agents {
+		if err := r.agents[i].restoreState(&ck.Agents[i]); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	if cfg.Strategy == A3C || cfg.Strategy == A2C {
+		if ck.PS == nil {
+			return nil, nil, fmt.Errorf("search: checkpoint for strategy %q is missing parameter-server state", cfg.Strategy)
+		}
+		waiter := func(agentID int) func([]float64) { return r.agents[agentID].gradAveraged }
+		psrv, psEvents := ps.RestoreServer(sim, r.psConfig(), ck.PS, waiter)
+		r.psrv = psrv
+		events = append(events, psEvents...)
+	}
+
+	// Re-attach the delivery callbacks of in-flight reward estimations.
+	relinked := 0
+	for _, a := range r.agents {
+		for i, id := range a.pendingJobs {
+			if id != 0 {
+				ev.Relink(id, a.evalDone(i))
+				relinked++
+			}
+		}
+	}
+	if relinked != ev.InflightCount() {
+		return nil, nil, fmt.Errorf("search: checkpoint has %d in-flight evaluations but agents reference %d", ev.InflightCount(), relinked)
+	}
+
+	// Agent-owned pending events (UpdateCost delays, round waits).
+	for _, a := range r.agents {
+		a := a
+		switch a.phase {
+		case phaseUpdate:
+			events = append(events, hpc.ResumeEvent{Time: a.evTime, Seq: a.evSeq, Schedule: func() {
+				a.evSeq = sim.AtTime(a.evTime, a.applyUpdate)
+			}})
+		case phaseRoundWait:
+			events = append(events, hpc.ResumeEvent{Time: a.evTime, Seq: a.evSeq, Schedule: func() {
+				a.evSeq = sim.AtTime(a.evTime, a.startRound)
+			}})
+		}
+	}
+	hpc.ScheduleResume(events)
+	return r.finishAllocation()
+}
+
+// finishAllocation runs to the allocation's walltime boundary, returning
+// the final log if the search drained or a checkpoint at the cut.
+func (r *runner) finishAllocation() (*Log, *Checkpoint, error) {
+	if r.sim.RunUntil(r.boundary) {
+		return r.buildLog(), nil, nil
+	}
+	ck := r.capture()
+	return ck.Partial, ck, nil
+}
+
+// capture snapshots the runner into a Checkpoint. Pure reads — no RNG
+// draws, no event scheduling — so taking a checkpoint never perturbs the
+// run.
+func (r *runner) capture() *Checkpoint {
+	ck := &Checkpoint{
+		Bench:         r.bench.Name,
+		SpaceName:     r.space.Name,
+		Config:        r.cfg,
+		Now:           r.sim.Now(),
+		Boundary:      r.boundary,
+		Allocations:   r.allocations + 1,
+		Stopped:       r.stopped,
+		Converged:     r.converged,
+		EndTime:       r.endTime,
+		CachedRounds:  append([]int(nil), r.cachedRounds...),
+		PartialRounds: r.partialRounds,
+		FailedEvals:   r.failedEvals,
+		Eval:          r.eval.CaptureState(),
+		Service:       r.service.CaptureState(),
+	}
+	for _, a := range r.agents {
+		ck.Agents = append(ck.Agents, a.captureState())
+	}
+	if r.psrv != nil {
+		ck.PS = r.psrv.CaptureState()
+	}
+	ck.Partial = r.buildLog()
+	return ck
+}
+
+func (a *agent) captureState() AgentState {
+	st := AgentState{
+		Phase:       a.phase,
+		CurEpoch:    a.curEpoch,
+		FailedEp:    append([]bool(nil), a.failedEp...),
+		Pending:     a.pending,
+		Cached:      a.cached,
+		Failed:      a.failed,
+		PendingJobs: append([]int64(nil), a.pendingJobs...),
+		PendingAvg:  append([]float64(nil), a.pendingAvg...),
+		EvTime:      a.evTime,
+		EvSeq:       a.evSeq,
+		Rand:        a.rand.State(),
+	}
+	for _, ep := range a.eps {
+		st.Episodes = append(st.Episodes, EpisodeState{
+			Choices: append([]int(nil), ep.Choices...),
+			OldLogP: append([]float64(nil), ep.OldLogP...),
+			Reward:  ep.Reward,
+		})
+	}
+	if a.ctrl != nil {
+		st.Ctrl = a.ctrl.CaptureState()
+	}
+	if a.evo != nil {
+		es := &EvoAgentState{Capacity: a.evo.capacity, Rand: a.evo.rand.State()}
+		for _, m := range a.evo.population {
+			es.Population = append(es.Population, EvoMemberState{
+				Choices: append([]int(nil), m.choices...),
+				Reward:  m.reward,
+			})
+		}
+		st.Evo = es
+	}
+	return st
+}
+
+func (a *agent) restoreState(st *AgentState) error {
+	a.phase = st.Phase
+	a.curEpoch = st.CurEpoch
+	a.failedEp = append([]bool(nil), st.FailedEp...)
+	a.pending = st.Pending
+	a.cached = st.Cached
+	a.failed = st.Failed
+	a.pendingJobs = append([]int64(nil), st.PendingJobs...)
+	if len(st.PendingAvg) > 0 {
+		a.pendingAvg = append([]float64(nil), st.PendingAvg...)
+	}
+	a.evTime = st.EvTime
+	a.evSeq = st.EvSeq
+	a.rand.SetState(st.Rand)
+	a.eps = nil
+	for _, ep := range st.Episodes {
+		a.eps = append(a.eps, &rl.Episode{
+			Choices: append([]int(nil), ep.Choices...),
+			OldLogP: append([]float64(nil), ep.OldLogP...),
+			Reward:  ep.Reward,
+		})
+	}
+	if st.Ctrl != nil {
+		if a.ctrl == nil {
+			return fmt.Errorf("search: checkpoint agent %d carries controller state but strategy %q builds none", a.id, a.r.cfg.Strategy)
+		}
+		if err := a.ctrl.RestoreState(st.Ctrl); err != nil {
+			return fmt.Errorf("search: agent %d: %w", a.id, err)
+		}
+	}
+	if st.Evo != nil {
+		if a.evo == nil {
+			return fmt.Errorf("search: checkpoint agent %d carries EVO state but strategy %q builds none", a.id, a.r.cfg.Strategy)
+		}
+		a.evo.capacity = st.Evo.Capacity
+		a.evo.rand.SetState(st.Evo.Rand)
+		a.evo.population = nil
+		for _, m := range st.Evo.Population {
+			a.evo.population = append(a.evo.population, evoMember{
+				choices: append([]int(nil), m.Choices...),
+				reward:  m.Reward,
+			})
+		}
+	}
+	return nil
+}
+
+// Checkpoint file container parameters (see internal/ckpt for the layout).
+const (
+	checkpointMagic   = "nasgockp"
+	checkpointVersion = 1
+)
+
+// WriteFile atomically persists the checkpoint: staged into a temp file,
+// framed with a versioned header and SHA-256 checksum, renamed into place.
+// A crash mid-write leaves any previous checkpoint at path intact.
+func (ck *Checkpoint) WriteFile(path string) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return fmt.Errorf("search: encode checkpoint: %w", err)
+	}
+	return ckpt.WriteFile(path, checkpointMagic, checkpointVersion, buf.Bytes())
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteFile. Truncated or
+// corrupted files are rejected with descriptive errors.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	payload, _, err := ckpt.ReadFile(path, checkpointMagic, checkpointVersion)
+	if err != nil {
+		return nil, err
+	}
+	var ck Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("search: decode checkpoint %s: %w", path, err)
+	}
+	if err := ck.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("search: checkpoint %s: invalid config: %w", path, err)
+	}
+	if ck.Bench == "" || ck.SpaceName == "" {
+		return nil, fmt.Errorf("search: checkpoint %s: missing benchmark or space name", path)
+	}
+	if len(ck.Agents) != ck.Config.Agents {
+		return nil, fmt.Errorf("search: checkpoint %s: %d agent states for %d configured agents", path, len(ck.Agents), ck.Config.Agents)
+	}
+	return &ck, nil
+}

@@ -80,7 +80,7 @@ func (a *agent) evoRoundDone(eps []*rl.Episode) {
 	}
 	// Same resubmission latency as RDM; also guarantees virtual time
 	// advances on fully cached rounds.
-	a.r.sim.At(1, func() { a.startRound() })
+	a.waitNextRound()
 }
 
 // sampleEvo builds the round's episodes for an EVO agent.

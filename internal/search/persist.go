@@ -3,17 +3,25 @@ package search
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+
+	"nasgo/internal/ckpt"
 )
 
 // WriteJSON saves the log to path so the analytics and post-training CLIs
-// can consume a search run produced by cmd/nas-search.
+// can consume a search run produced by cmd/nas-search. The write is atomic
+// (temp file + rename): a crash mid-write leaves any previous log intact
+// rather than a truncated JSON prefix.
 func (l *Log) WriteJSON(path string) error {
 	data, err := json.MarshalIndent(l, "", " ")
 	if err != nil {
 		return fmt.Errorf("search: marshal log: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return ckpt.AtomicWrite(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
 }
 
 // LoadLog reads a log written by WriteJSON. A truncated or corrupt file —

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,6 +42,60 @@ func TestLogJSONRoundTrip(t *testing.T) {
 		if ta[i].Key != tb[i].Key {
 			t.Fatal("TopK differs after round trip")
 		}
+	}
+}
+
+// TestWriteJSONCrashSafety simulates the failure WriteJSON's atomicity
+// guards against: a writer killed mid-write. A non-atomic writer would
+// leave a truncated JSON prefix where the next tool expects a log; the
+// staged write leaves either the old complete file or the new one.
+func TestWriteJSONCrashSafety(t *testing.T) {
+	log := runSmall(t, RDM, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log.json")
+	if err := log.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The partial file a crashed non-atomic writer would leave: LoadLog
+	// must reject it at every truncation point, never hand back a
+	// zero-valued log.
+	crashed := filepath.Join(dir, "crashed.json")
+	for _, n := range []int{0, 1, len(before) / 4, len(before) / 2, len(before) - 1} {
+		if werr := os.WriteFile(crashed, before[:n], 0o644); werr != nil {
+			t.Fatal(werr)
+		}
+		if _, lerr := LoadLog(crashed); lerr == nil {
+			t.Fatalf("log truncated to %d/%d bytes was accepted", n, len(before))
+		}
+	}
+
+	// Rewriting over an existing log stages through a temp file and leaves
+	// no litter: afterwards the directory holds exactly the two logs, and
+	// the target still parses to identical bytes.
+	if err := log.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("rewrite changed the log bytes")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	if _, err := LoadLog(path); err != nil {
+		t.Fatalf("rewritten log rejected: %v", err)
 	}
 }
 

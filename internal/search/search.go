@@ -19,6 +19,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"nasgo/internal/balsam"
@@ -48,7 +49,14 @@ type Config struct {
 	WorkersPerAgent int
 	// Horizon is the virtual wall-clock budget in seconds (paper: 6 h).
 	Horizon float64
-	Seed    uint64
+	// Walltime bounds one scheduler allocation in virtual seconds; 0
+	// disables walltime bounding. A search whose horizon exceeds the
+	// walltime runs as a chain of allocations: each allocation stops at its
+	// walltime boundary, checkpoints the complete search state, and the next
+	// allocation resumes from the checkpoint. The chained run's log is
+	// bit-identical to an uninterrupted run of the same config.
+	Walltime float64
+	Seed     uint64
 	// RL configures the controller (defaults are the paper's).
 	RL rl.Config
 	// Eval configures reward estimation (fidelity, timeout, epochs).
@@ -105,6 +113,31 @@ func (c Config) withDefaults() Config {
 		c.EvoPopulation = 32
 	}
 	return c
+}
+
+// Validate rejects configurations that cannot run, with errors that say
+// which field is wrong and what would be accepted. Zero values are legal
+// wherever they select a documented default.
+func (c Config) Validate() error {
+	switch c.Strategy {
+	case "", A3C, A2C, RDM, EVO:
+	default:
+		return fmt.Errorf("search: unknown strategy %q (want %q, %q, %q, or %q)",
+			c.Strategy, A3C, A2C, RDM, EVO)
+	}
+	if c.Agents < 0 {
+		return fmt.Errorf("search: Agents = %d, want > 0 agents (0 selects the default 21)", c.Agents)
+	}
+	if c.WorkersPerAgent < 0 {
+		return fmt.Errorf("search: WorkersPerAgent = %d, want > 0 evaluations per agent round (0 selects the default 11)", c.WorkersPerAgent)
+	}
+	if c.Horizon < 0 {
+		return fmt.Errorf("search: Horizon = %g, want > 0 virtual seconds (0 selects the default 6 h)", c.Horizon)
+	}
+	if c.Walltime < 0 {
+		return fmt.Errorf("search: Walltime = %g, want > 0 virtual seconds per allocation (0 disables walltime bounding)", c.Walltime)
+	}
+	return nil
 }
 
 // Log is the analytics-facing record of one search run.
@@ -185,6 +218,7 @@ func (l *Log) TopK(k int) []*evaluator.Result {
 // runner orchestrates one search run on its own simulator.
 type runner struct {
 	cfg     Config
+	bench   *candle.Benchmark
 	sim     *hpc.Sim
 	service *balsam.Service
 	eval    *evaluator.Evaluator
@@ -200,34 +234,95 @@ type runner struct {
 	// evaluation failures.
 	partialRounds int
 	failedEvals   int
+
+	// boundary is the current allocation's walltime cut in virtual seconds
+	// (+Inf semantics when Walltime is disabled handled by RunAll), and
+	// allocations counts completed walltime allocations before this one.
+	boundary    float64
+	allocations int
 }
+
+// Agent phases: where an agent's state machine sits between simulator
+// events, so a checkpoint knows which pending work belongs to it.
+const (
+	// phaseIdle: before the first round, or done (horizon/convergence).
+	phaseIdle = iota
+	// phaseEval: waiting for the round's reward estimations.
+	phaseEval
+	// phaseExchange: gradient handed to the parameter server, waiting for
+	// the averaged gradient (barrier or in-flight delivery — both owned by
+	// the server's state).
+	phaseExchange
+	// phaseUpdate: averaged gradient received, UpdateCost event pending.
+	phaseUpdate
+	// phaseRoundWait: RDM/EVO resubmission latency event pending.
+	phaseRoundWait
+)
 
 // agent is one searcher's state machine: an RL controller (A3C/A2C), an
 // evolution population (EVO), or neither (RDM).
 type agent struct {
-	id      int
-	r       *runner
-	ctrl    *rl.Controller // A3C/A2C only
-	evo     *evoState      // EVO only
-	rand    *rng.Rand
-	eps     []*rl.Episode
+	id   int
+	r    *runner
+	ctrl *rl.Controller // A3C/A2C only
+	evo  *evoState      // EVO only
+	rand *rng.Rand
+	eps  []*rl.Episode
 	// failedEp marks episodes whose evaluation ended terminally failed;
 	// they are dropped from the policy update (partial batch).
 	failedEp []bool
 	pending  int
 	cached   int
 	failed   int
+
+	// Checkpointable control state.
+	phase    int
+	curEpoch int
+	// pendingJobs maps episode index → in-flight Balsam job ID (0 once the
+	// result has been delivered, or when no task was launched).
+	pendingJobs []int64
+	// pendingAvg holds the averaged gradient awaiting its UpdateCost event.
+	pendingAvg []float64
+	// evTime/evSeq locate the agent's own pending simulator event (the
+	// UpdateCost or round-wait delay) in the event queue.
+	evTime float64
+	evSeq  int64
 }
 
 // Run executes one search and returns its log. The run is deterministic in
-// (benchmark, space, config).
+// (benchmark, space, config): with Walltime set, the run chains
+// checkpointed allocations and still produces the identical log.
 func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
-	cfg = cfg.withDefaults()
-	switch cfg.Strategy {
-	case A3C, A2C, RDM, EVO:
-	default:
-		panic(fmt.Sprintf("search: unknown strategy %q", cfg.Strategy))
+	log, err := run(bench, sp, cfg)
+	if err != nil {
+		panic(err)
 	}
+	return log
+}
+
+func run(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Walltime > 0 {
+		// Chain walltime-bounded allocations through in-memory checkpoints.
+		log, ck, err := RunAllocation(bench, sp, cfg)
+		for err == nil && ck != nil {
+			log, ck, err = ResumeAllocation(bench, sp, ck)
+		}
+		return log, err
+	}
+	r := newRunner(bench, sp, cfg)
+	r.start()
+	r.sim.RunAll()
+	return r.buildLog(), nil
+}
+
+// newRunner builds a fresh runner: simulator at time zero, service,
+// evaluator, parameter server, and agents. The RNG draw sequence here is
+// the reference a resumed runner replays before overwriting state.
+func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config) *runner {
+	cfg = cfg.withDefaults()
 	sim := hpc.NewSim()
 	if cfg.Faults.Enabled() && cfg.Faults.Seed == 0 {
 		cfg.Faults.Seed = cfg.Seed ^ 0xfa117
@@ -243,6 +338,7 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 
 	r := &runner{
 		cfg:          cfg,
+		bench:        bench,
 		sim:          sim,
 		service:      service,
 		eval:         ev,
@@ -250,48 +346,66 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 		cachedRounds: make([]int, cfg.Agents),
 	}
 	if cfg.Strategy == A3C || cfg.Strategy == A2C {
-		mode := ps.Async
-		if cfg.Strategy == A2C {
-			mode = ps.Sync
-		}
-		r.psrv = ps.NewServer(sim, ps.Config{
-			Mode: mode, Agents: cfg.Agents, Window: cfg.PSWindow, Latency: cfg.PSLatency,
-		})
+		r.psrv = ps.NewServer(sim, r.psConfig())
 	}
-	root := rng.New(cfg.Seed)
-	for i := 0; i < cfg.Agents; i++ {
+	r.buildAgents(rng.New(cfg.Seed))
+	return r
+}
+
+func (r *runner) psConfig() ps.Config {
+	mode := ps.Async
+	if r.cfg.Strategy == A2C {
+		mode = ps.Sync
+	}
+	return ps.Config{Mode: mode, Agents: r.cfg.Agents, Window: r.cfg.PSWindow, Latency: r.cfg.PSLatency}
+}
+
+// buildAgents constructs the agent set from the root stream. The draw
+// sequence (Split for the agent stream, then Uint64 or Split for the
+// strategy state) is load-bearing: ResumeAllocation replays it bit-for-bit
+// before overwriting each agent's state.
+func (r *runner) buildAgents(root *rng.Rand) {
+	for i := 0; i < r.cfg.Agents; i++ {
 		a := &agent{id: i, r: r, rand: root.Split()}
-		switch cfg.Strategy {
+		switch r.cfg.Strategy {
 		case A3C, A2C:
-			a.ctrl = rl.NewController(sp, root.Uint64(), cfg.RL)
+			a.ctrl = rl.NewController(r.space, root.Uint64(), r.cfg.RL)
 		case EVO:
-			a.evo = newEvoState(cfg.EvoPopulation, root.Split())
+			a.evo = newEvoState(r.cfg.EvoPopulation, root.Split())
 		}
 		r.agents = append(r.agents, a)
 	}
+}
+
+// start schedules every agent's first round at time zero.
+func (r *runner) start() {
 	for _, a := range r.agents {
 		a := a
-		sim.At(0, func() { a.startRound() })
+		r.sim.At(0, func() { a.startRound() })
 	}
-	sim.RunAll()
-	if r.endTime == 0 {
-		r.endTime = sim.Now()
-	}
+}
 
+// buildLog assembles the analytics log from the runner's current state —
+// final when the event queue has drained, partial at a walltime cut.
+func (r *runner) buildLog() *Log {
+	end := r.endTime
+	if end == 0 {
+		end = r.sim.Now()
+	}
 	log := &Log{
-		Bench:       bench.Name,
-		SpaceName:   sp.Name,
-		Config:      cfg,
-		Results:     ev.Trace,
-		Utilization: service.UtilizationSeries(60),
+		Bench:       r.bench.Name,
+		SpaceName:   r.space.Name,
+		Config:      r.cfg,
+		Results:     r.eval.Trace,
+		Utilization: r.service.UtilizationSeries(60),
 		UtilBucket:  60,
-		EndTime:     r.endTime,
+		EndTime:     end,
 		Converged:   r.converged,
-		CacheHits:   ev.CacheHits,
-		Evaluations: service.Finished(),
+		CacheHits:   r.eval.CacheHits,
+		Evaluations: r.service.Finished(),
 
-		NodeFailures:  service.NodeFailures(),
-		Retries:       service.Retries(),
+		NodeFailures:  r.service.NodeFailures(),
+		Retries:       r.service.Retries(),
 		FailedEvals:   r.failedEvals,
 		PartialRounds: r.partialRounds,
 	}
@@ -304,6 +418,7 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 func (a *agent) startRound() {
 	r := a.r
 	if r.stopped || r.sim.Now() >= r.cfg.Horizon {
+		a.phase = phaseIdle
 		return
 	}
 	m := r.cfg.WorkersPerAgent
@@ -318,27 +433,41 @@ func (a *agent) startRound() {
 			a.eps[i] = &rl.Episode{Choices: r.space.RandomChoices(a.rand)}
 		}
 	}
+	a.phase = phaseEval
+	a.curEpoch = 0
 	a.pending = m
 	a.cached = 0
 	a.failed = 0
 	a.failedEp = make([]bool, m)
+	a.pendingJobs = make([]int64, m)
 	for i, ep := range a.eps {
-		i, ep := i, ep
-		r.eval.Submit(a.id, ep.Choices, func(res *evaluator.Result) {
-			a.eps[i].Reward = res.Reward
-			if res.Cached {
-				a.cached++
-			}
-			if res.Failed {
-				a.failed++
-				a.failedEp[i] = true
-				r.failedEvals++
-			}
-			a.pending--
-			if a.pending == 0 {
-				a.roundDone()
-			}
-		})
+		a.pendingJobs[i] = r.eval.Submit(a.id, ep.Choices, a.evalDone(i))
+	}
+}
+
+// evalDone builds the delivery callback of episode i — a named constructor
+// so a resumed run can re-attach the identical callback to a restored
+// in-flight job.
+func (a *agent) evalDone(i int) func(*evaluator.Result) {
+	return func(res *evaluator.Result) {
+		r := a.r
+		a.pendingJobs[i] = 0
+		a.eps[i].Reward = res.Reward
+		if res.Cached {
+			a.cached++
+		}
+		if res.Failed || math.IsNaN(res.Reward) || math.IsInf(res.Reward, 0) {
+			// The evaluator already converts non-finite rewards into failed
+			// results; the extra check here is defense in depth so a NaN can
+			// never reach a policy update through any future path.
+			a.failed++
+			a.failedEp[i] = true
+			r.failedEvals++
+		}
+		a.pending--
+		if a.pending == 0 {
+			a.roundDone()
+		}
 	}
 }
 
@@ -395,10 +524,17 @@ func (a *agent) roundDone() {
 		// resubmission latency (Balsam database round-trip). The delay
 		// also guarantees virtual time advances even on all-cached
 		// rounds, so the event loop always terminates.
-		r.sim.At(1, func() { a.startRound() })
+		a.waitNextRound()
 		return
 	}
 	a.ppoEpoch(0)
+}
+
+// waitNextRound schedules the RDM/EVO resubmission latency, recording the
+// event's queue position for checkpoints.
+func (a *agent) waitNextRound() {
+	a.phase = phaseRoundWait
+	a.evTime, a.evSeq = a.r.sim.AtE(1, a.startRound)
 }
 
 // ppoEpoch runs PPO epoch k: compute the gradient, exchange it through the
@@ -406,7 +542,7 @@ func (a *agent) roundDone() {
 // all failed still exchanges a zero gradient, so the synchronous A2C
 // barrier completes instead of stalling the other agents forever.
 func (a *agent) ppoEpoch(k int) {
-	r := a.r
+	a.curEpoch = k
 	if k >= a.ctrl.Cfg.Epochs {
 		a.startRound()
 		return
@@ -418,10 +554,23 @@ func (a *agent) ppoEpoch(k int) {
 	} else {
 		grad = make([]float64, a.ctrl.Params().Count())
 	}
-	r.psrv.Exchange(a.id, grad, func(avg []float64) {
-		r.sim.At(r.cfg.UpdateCost, func() {
-			a.ctrl.ApplyGradient(avg)
-			a.ppoEpoch(k + 1)
-		})
-	})
+	a.phase = phaseExchange
+	a.r.psrv.Exchange(a.id, grad, a.gradAveraged)
+}
+
+// gradAveraged receives the averaged gradient from the parameter server and
+// schedules the UpdateCost delay before it is applied.
+func (a *agent) gradAveraged(avg []float64) {
+	a.phase = phaseUpdate
+	a.pendingAvg = avg
+	a.evTime, a.evSeq = a.r.sim.AtE(a.r.cfg.UpdateCost, a.applyUpdate)
+}
+
+// applyUpdate applies the pending averaged gradient and moves to the next
+// PPO epoch.
+func (a *agent) applyUpdate() {
+	avg := a.pendingAvg
+	a.pendingAvg = nil
+	a.ctrl.ApplyGradient(avg)
+	a.ppoEpoch(a.curEpoch + 1)
 }

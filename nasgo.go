@@ -72,6 +72,9 @@ type (
 	// the simulated machine (SearchConfig.Faults); the zero value is a
 	// perfect machine.
 	FaultModel = hpc.FaultModel
+	// SearchCheckpoint is the complete state of a search interrupted at a
+	// walltime boundary; ResumeSearchAllocation continues it bit-for-bit.
+	SearchCheckpoint = search.Checkpoint
 )
 
 // NewBenchmark builds a CANDLE benchmark ("Combo", "Uno", or "NT3").
@@ -94,6 +97,28 @@ func RunSearch(bench *Benchmark, sp *Space, cfg SearchConfig) *SearchLog {
 
 // LoadSearchLog reads a log saved with SearchLog.WriteJSON.
 func LoadSearchLog(path string) (*SearchLog, error) { return search.LoadLog(path) }
+
+// RunSearchAllocation starts a walltime-bounded search allocation
+// (SearchConfig.Walltime > 0). It returns the final log when the search
+// completed inside the allocation, or a partial log plus a checkpoint to
+// hand to ResumeSearchAllocation — in this process or, via
+// SearchCheckpoint.WriteFile and LoadSearchCheckpoint, in a later one.
+func RunSearchAllocation(bench *Benchmark, sp *Space, cfg SearchConfig) (*SearchLog, *SearchCheckpoint, error) {
+	return search.RunAllocation(bench, sp, cfg)
+}
+
+// ResumeSearchAllocation continues a checkpointed search for one more
+// walltime allocation. The chained run's log is bit-identical to an
+// uninterrupted run of the same configuration.
+func ResumeSearchAllocation(bench *Benchmark, sp *Space, ck *SearchCheckpoint) (*SearchLog, *SearchCheckpoint, error) {
+	return search.ResumeAllocation(bench, sp, ck)
+}
+
+// LoadSearchCheckpoint reads a checkpoint saved with
+// SearchCheckpoint.WriteFile, rejecting truncated or corrupted files.
+func LoadSearchCheckpoint(path string) (*SearchCheckpoint, error) {
+	return search.LoadCheckpoint(path)
+}
 
 // PostTrain retrains the given top architectures for the paper's 20 epochs
 // (configurable) and compares them to the manually designed baseline.

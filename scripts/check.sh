@@ -1,12 +1,20 @@
 #!/bin/sh
-# Fast CI gate: vet the whole module, then run the pure-simulation packages
-# (no neural-net training) under the race detector. The search package only
-# runs its TestShort* fault/replay tests — the full search suite trains real
-# networks and belongs to `go test ./...`.
+# Fast CI gate: formatting, vet, then the pure-simulation packages (no
+# neural-net training) under the race detector. The search package only
+# runs its TestShort* fault/replay/resume tests — the full search suite
+# trains real networks and belongs to `go test ./...`.
 set -eu
 cd "$(dirname "$0")/.."
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "check.sh: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go vet ./...
-go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/
+go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/ \
+    ./internal/ckpt/ ./internal/ps/ ./internal/optim/
 go test -race -run TestShort ./internal/search/
 echo "check.sh: OK"
