@@ -7,7 +7,8 @@
 //	nas-bench -exp fig9 -scale default
 //	nas-bench -exp all -scale quick -out results/
 //	nas-bench -exp restart -walltime 1200 -checkpoint results/ckpt
-//	nas-bench -resume results/ckpt/alloc-001.ckpt
+//	nas-bench -exp restart -trace results/restart.trace.jsonl
+//	nas-bench -resume results/ckpt/alloc-001.ckpt -trace resumed.trace.jsonl
 //
 // Search runs are memoized in-process, so "-exp all" shares runs between
 // figures exactly as the paper's campaign did. The restart experiment
@@ -27,6 +28,7 @@ import (
 
 	"nasgo"
 	"nasgo/internal/experiments"
+	"nasgo/internal/trace"
 )
 
 func main() {
@@ -37,12 +39,16 @@ func main() {
 		walltime = flag.Float64("walltime", 0, "restart experiment: virtual seconds per allocation (0 derives a third of the run)")
 		ckptDir  = flag.String("checkpoint", "", "restart experiment: keep the chain's checkpoint files in this directory")
 		resume   = flag.String("resume", "", "continue a search checkpoint file to completion, rewriting it at each further walltime cut (skips -exp)")
+		tracePth = flag.String("trace", "", "record the run's event trace as JSONL (only with -resume or -exp restart)")
 	)
 	flag.Parse()
 
 	if *resume != "" {
-		resumeChain(*resume)
+		resumeChain(*resume, *tracePth)
 		return
+	}
+	if *tracePth != "" && *exp != "restart" {
+		log.Fatal("-trace requires -resume or -exp restart")
 	}
 
 	sc, err := nasgo.ExperimentScaleByName(*scale)
@@ -61,10 +67,13 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		var text string
-		if id == "restart" && (*walltime > 0 || *ckptDir != "") {
+		if id == "restart" && (*walltime > 0 || *ckptDir != "" || *tracePth != "") {
 			text = experiments.RestartWith(sc, experiments.RestartOpts{
-				Walltime: *walltime, CheckpointDir: *ckptDir,
+				Walltime: *walltime, CheckpointDir: *ckptDir, TracePath: *tracePth,
 			}).Render()
+			if *tracePth != "" {
+				fmt.Printf("chained-run trace written to %s\n", *tracePth)
+			}
 		} else {
 			text, err = nasgo.RenderExperiment(id, sc)
 			if err != nil {
@@ -84,11 +93,17 @@ func main() {
 
 // resumeChain continues a checkpointed search allocation by allocation
 // until it completes, rewriting the checkpoint file at every walltime cut
-// so a killed process can pick up where it left off.
-func resumeChain(path string) {
+// so a killed process can pick up where it left off. With tracePath, one
+// recorder follows the whole chain and its seamless trace is written when
+// the search completes.
+func resumeChain(path, tracePath string) {
 	ck, err := nasgo.LoadSearchCheckpoint(path)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var rec *nasgo.TraceRecorder
+	if tracePath != "" {
+		rec = nasgo.NewTraceRecorder(0)
 	}
 	bench, err := nasgo.NewBenchmark(ck.Bench, nasgo.BenchmarkConfig{Seed: ck.Config.Seed})
 	if err != nil {
@@ -101,13 +116,16 @@ func resumeChain(path string) {
 	fmt.Printf("resuming %s on %s/%s: allocation %d, virtual time %.0f s, walltime %.0f s\n",
 		strings.ToUpper(ck.Config.Strategy), ck.Bench, ck.SpaceName, ck.Allocations+1, ck.Now, ck.Config.Walltime)
 	for {
-		res, next, err := nasgo.ResumeSearchAllocation(bench, sp, ck)
+		res, next, err := nasgo.ResumeSearchAllocationTraced(bench, sp, ck, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if next == nil {
 			fmt.Printf("search complete: %d results, end %.0f virtual s, converged=%v\n",
 				len(res.Results), res.EndTime, res.Converged)
+			if rec != nil {
+				writeTraceJSONL(rec, tracePath)
+			}
 			return
 		}
 		if err := next.WriteFile(path); err != nil {
@@ -117,6 +135,26 @@ func resumeChain(path string) {
 			next.Allocations, next.Now, path)
 		ck = next
 	}
+}
+
+// writeTraceJSONL saves the recorded chain trace and prints its digest.
+func writeTraceJSONL(rec *nasgo.TraceRecorder, path string) {
+	events := rec.Events()
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Printf("trace ring overflowed: %d oldest events dropped\n", dropped)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d events written to %s (sha256 %x)\n",
+		len(events), path, trace.Digest(events))
 }
 
 func max(a, b int) int {

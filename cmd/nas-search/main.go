@@ -13,17 +13,20 @@
 //	    -agents 8 -workers 5 -horizon 10800 -out combo-a3c.json
 //	nas-search -bench Combo -walltime 3600 -checkpoint combo.ckpt
 //	nas-search -resume combo.ckpt -checkpoint combo.ckpt
+//	nas-search -bench Combo -trace combo.trace.jsonl -trace-chrome combo.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"nasgo"
 	"nasgo/internal/analytics"
 	"nasgo/internal/report"
+	"nasgo/internal/trace"
 )
 
 func main() {
@@ -41,8 +44,15 @@ func main() {
 		walltime  = flag.Float64("walltime", 0, "virtual seconds per allocation; 0 runs to completion in one process")
 		ckptPath  = flag.String("checkpoint", "nas-search.ckpt", "path for the checkpoint written when -walltime cuts the run")
 		resume    = flag.String("resume", "", "continue from a checkpoint written by an earlier -walltime invocation (other search flags are taken from the checkpoint)")
+		tracePath = flag.String("trace", "", "record the run's event trace as JSONL to this path (with -resume, the trace covers this allocation)")
+		chromeOut = flag.String("trace-chrome", "", "also write the trace in Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
 	)
 	flag.Parse()
+
+	var rec *nasgo.TraceRecorder
+	if *tracePath != "" || *chromeOut != "" {
+		rec = nasgo.NewTraceRecorder(0)
+	}
 
 	var (
 		bench *nasgo.Benchmark
@@ -66,7 +76,7 @@ func main() {
 		}
 		fmt.Printf("resuming %s on %s/%s from %s: allocation %d, virtual time %.0f s\n",
 			strings.ToUpper(ck.Config.Strategy), ck.Bench, ck.SpaceName, *resume, ck.Allocations+1, ck.Now)
-		res, next, err = nasgo.ResumeSearchAllocation(bench, sp, ck)
+		res, next, err = nasgo.ResumeSearchAllocationTraced(bench, sp, ck, rec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,13 +102,20 @@ func main() {
 		}
 		cfg.Eval.Fidelity = *fidelity
 		if *walltime > 0 {
-			res, next, err = nasgo.RunSearchAllocation(bench, sp, cfg)
+			res, next, err = nasgo.RunSearchAllocationTraced(bench, sp, cfg, rec)
 			if err != nil {
 				log.Fatal(err)
 			}
 		} else {
-			res = nasgo.RunSearch(bench, sp, cfg)
+			res, err = nasgo.RunSearchTraced(bench, sp, cfg, rec)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
+	}
+
+	if rec != nil {
+		writeTrace(rec, *tracePath, *chromeOut)
 	}
 
 	if next != nil {
@@ -151,4 +168,41 @@ func main() {
 		}
 		fmt.Printf("\nfull log written to %s\n", *out)
 	}
+}
+
+// writeTrace saves the recorded event stream and prints its summary.
+func writeTrace(rec *nasgo.TraceRecorder, jsonlPath, chromePath string) {
+	events := rec.Events()
+	if dropped := rec.Dropped(); dropped > 0 {
+		fmt.Printf("\ntrace ring overflowed: %d oldest events dropped\n", dropped)
+	}
+	if jsonlPath != "" {
+		f, err := os.Create(jsonlPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteJSONL(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: %d events written to %s (sha256 %x)\n",
+			len(events), jsonlPath, trace.Digest(events))
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.WriteChrome(f, events); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s\n", chromePath)
+	}
+	fmt.Println()
+	fmt.Print(trace.Summarize(events).Format())
 }

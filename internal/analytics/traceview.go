@@ -1,0 +1,83 @@
+// Trace views: the analytics quantities recomputed directly from a
+// recorded event trace (internal/trace) instead of a live search.Log.
+// The trace is a complete record of the run, so these views agree exactly
+// with the log-derived values — ResultsFromTrace rebuilds the result
+// stream from eval result spans, and UtilizationSeriesFromTrace rebuilds
+// the piecewise-constant busy/down curve from the balsam node counters
+// and feeds it through the very same bucket integration the live service
+// uses (balsam.SeriesFromPoints).
+package analytics
+
+import (
+	"nasgo/internal/balsam"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/trace"
+)
+
+// ResultsFromTrace reconstructs the completion-ordered result stream from
+// a trace's CatEval result spans. Only the fields the analytics functions
+// read are populated: FinishTime, Reward, Duration, AgentID, and the
+// Cached/Failed/TimedOut flags (from the span's Detail).
+func ResultsFromTrace(events []trace.Event) []*evaluator.Result {
+	var out []*evaluator.Result
+	for _, ev := range events {
+		if ev.Cat != trace.CatEval || ev.Name != trace.EvResult {
+			continue
+		}
+		r := &evaluator.Result{
+			AgentID:    ev.Agent,
+			Reward:     ev.Value,
+			Duration:   ev.Dur,
+			FinishTime: ev.Time,
+		}
+		switch ev.Detail {
+		case "cached":
+			r.Cached = true
+		case "failed":
+			r.Failed = true
+		case "timeout":
+			r.TimedOut = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TrajectoryFromTrace computes the reward trajectory of a recorded run —
+// identical to Trajectory over the run's log.Results.
+func TrajectoryFromTrace(events []trace.Event, bucket, horizon float64) []TrajectoryPoint {
+	return Trajectory(ResultsFromTrace(events), bucket, horizon)
+}
+
+// UtilizationSeriesFromTrace recomputes the node-utilization series of a
+// recorded run from its balsam nodes.busy/nodes.down counter events —
+// identical to the live service's UtilizationSeries(bucket) at the end of
+// the run. nodes is the worker-pool size (search: Agents×WorkersPerAgent).
+//
+// The service emits the two counters as a pair, busy first, at every
+// transition; the pair becomes one UtilizationPoint. The curve starts at
+// {0,0,0} (the service's construction-time anchor, which precedes any
+// event) and ends at the trace's final event time — the virtual time the
+// simulation drained at.
+func UtilizationSeriesFromTrace(events []trace.Event, nodes int, bucket float64) []float64 {
+	if len(events) == 0 {
+		return nil
+	}
+	points := []balsam.UtilizationPoint{{}}
+	var busy, down int
+	for _, ev := range events {
+		if ev.Cat != trace.CatBalsam || ev.Kind != trace.KindCounter {
+			continue
+		}
+		switch ev.Name {
+		case trace.EvBusyNodes:
+			busy = int(ev.Value)
+		case trace.EvDownNodes:
+			down = int(ev.Value)
+			points = append(points, balsam.UtilizationPoint{Time: ev.Time, Busy: busy, Down: down})
+		}
+	}
+	now := events[len(events)-1].Time
+	points = append(points, balsam.UtilizationPoint{Time: now, Busy: busy, Down: down})
+	return balsam.SeriesFromPoints(points, nodes, bucket, now)
+}

@@ -28,6 +28,7 @@ import (
 
 	"nasgo/internal/hpc"
 	"nasgo/internal/rng"
+	"nasgo/internal/trace"
 )
 
 // JobState is the lifecycle state of a job.
@@ -367,6 +368,11 @@ func (s *Service) Submit(job *Job) int64 {
 	job.SubmitTime = s.sim.Now()
 	s.jobs[job.ID] = job
 	s.queue = append(s.queue, job)
+	rec := s.sim.Recorder()
+	rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobSubmit,
+		Node: trace.None, Agent: job.AgentID, Job: job.ID, Detail: job.Key})
+	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
+		Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
 	s.dispatch()
 	return job.ID
 }
@@ -385,6 +391,11 @@ func (s *Service) dispatch() {
 		job.Node = node
 		job.Attempts++
 		job.StartTime = s.sim.Now()
+		rec := s.sim.Recorder()
+		rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobRun,
+			Node: node, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
+		rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
+			Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
 		s.updateCounts()
 		d := job.Duration
 		if s.stragglerRand != nil {
@@ -413,6 +424,13 @@ func (s *Service) complete(job *Job, attempt int, pe *pendingEvent) {
 	job.EndTime = s.sim.Now()
 	job.fire = nil
 	s.finished++
+	name := trace.EvJobDone
+	if job.TimedOut {
+		name = trace.EvJobTimeout
+	}
+	s.sim.Recorder().Emit(trace.Event{Kind: trace.KindSpan, Cat: trace.CatBalsam, Name: name,
+		Dur: job.EndTime - job.StartTime, Node: job.Node, Agent: job.AgentID,
+		Job: job.ID, Value: float64(job.Attempts)})
 	s.pool.Release(job.Node)
 	job.Node = -1
 	s.updateCounts()
@@ -448,6 +466,8 @@ func (s *Service) nodeDown(node int) {
 		return
 	}
 	s.nodeFailures++
+	s.sim.Recorder().Emit(trace.Event{Cat: trace.CatFault, Name: trace.EvNodeDown,
+		Node: node, Agent: trace.None, Value: float64(s.nodeFailures)})
 	job := s.pool.JobOn(node)
 	s.pool.SetDown(node)
 	if job != nil {
@@ -460,6 +480,7 @@ func (s *Service) nodeDown(node int) {
 // requeue (capped exponential backoff in virtual time) or fails it
 // terminally once its retries are exhausted.
 func (s *Service) kill(job *Job) {
+	node := job.Node
 	job.State = StateRunError
 	job.Node = -1
 	// The job's in-flight completion event is now orphaned; it fires as a
@@ -472,6 +493,8 @@ func (s *Service) kill(job *Job) {
 		job.State = StateFailed
 		job.EndTime = s.sim.Now()
 		s.failed++
+		s.sim.Recorder().Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobFailed,
+			Node: node, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
 		if job.OnDone != nil {
 			job.OnDone(job)
 		}
@@ -482,6 +505,8 @@ func (s *Service) kill(job *Job) {
 	if backoff > s.opts.BackoffCap {
 		backoff = s.opts.BackoffCap
 	}
+	s.sim.Recorder().Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobError,
+		Node: node, Agent: job.AgentID, Job: job.ID, Value: backoff})
 	pe := &pendingEvent{}
 	pe.time, pe.seq = s.sim.AtE(backoff, func() { s.requeue(job) })
 	job.fire = pe
@@ -492,6 +517,11 @@ func (s *Service) requeue(job *Job) {
 	job.State = StateRestartReady
 	job.fire = nil
 	s.queue = append(s.queue, job)
+	rec := s.sim.Recorder()
+	rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobRestart,
+		Node: trace.None, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
+	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
+		Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
 	s.dispatch()
 }
 
@@ -500,6 +530,8 @@ func (s *Service) nodeUp(node int) {
 	if s.pool.State(node) != NodeDown {
 		return
 	}
+	s.sim.Recorder().Emit(trace.Event{Cat: trace.CatFault, Name: trace.EvNodeUp,
+		Node: node, Agent: trace.None})
 	s.pool.SetUp(node)
 	s.updateCounts()
 	s.dispatch()
@@ -515,6 +547,11 @@ func (s *Service) updateCounts() {
 	s.busy = s.pool.Busy()
 	s.down = s.pool.Down()
 	s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
+	rec := s.sim.Recorder()
+	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvBusyNodes,
+		Node: trace.None, Agent: trace.None, Value: float64(s.busy)})
+	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvDownNodes,
+		Node: trace.None, Agent: trace.None, Value: float64(s.down)})
 }
 
 // BusySeconds returns the integral of busy node count over time.
@@ -555,10 +592,21 @@ func (s *Service) MeanUtilization() float64 {
 // when now falls exactly on a bucket boundary no zero-width bucket is
 // emitted. A bucket whose capacity was entirely dead reads 0.
 func (s *Service) UtilizationSeries(bucket float64) []float64 {
+	now := s.sim.Now()
+	points := append(append([]UtilizationPoint(nil), s.transitions...),
+		UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
+	return SeriesFromPoints(points, s.pool.Len(), bucket, now)
+}
+
+// SeriesFromPoints samples a piecewise-constant utilization curve — given
+// as transition points followed by a final point at time now — into
+// buckets, exactly as UtilizationSeries does for a live service. It exists
+// so a recorded trace (internal/analytics) can rebuild the same series
+// from its nodes.busy/nodes.down counter events.
+func SeriesFromPoints(points []UtilizationPoint, nodes int, bucket, now float64) []float64 {
 	if bucket <= 0 {
 		panic("balsam: bucket must be positive")
 	}
-	now := s.sim.Now()
 	if now == 0 {
 		return nil
 	}
@@ -569,8 +617,6 @@ func (s *Service) UtilizationSeries(bucket float64) []float64 {
 	busySec := make([]float64, nBuckets)
 	downSec := make([]float64, nBuckets)
 	// Integrate the step functions per bucket.
-	points := append(append([]UtilizationPoint(nil), s.transitions...),
-		UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
 	for i := 0; i+1 < len(points); i++ {
 		t0, t1 := points[i].Time, points[i+1].Time
 		busy := float64(points[i].Busy)
@@ -594,7 +640,7 @@ func (s *Service) UtilizationSeries(bucket float64) []float64 {
 		if float64(b+1)*bucket > now {
 			width = now - float64(b)*bucket
 		}
-		avail := width*float64(s.pool.Len()) - downSec[b]
+		avail := width*float64(nodes) - downSec[b]
 		if avail > 0 {
 			series[b] = busySec[b] / avail
 		}

@@ -33,6 +33,7 @@ import (
 	"nasgo/internal/optim"
 	"nasgo/internal/rng"
 	"nasgo/internal/space"
+	"nasgo/internal/trace"
 	"nasgo/internal/train"
 )
 
@@ -238,6 +239,8 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 	}
 	if prev, ok := cache[key]; ok {
 		e.CacheHits++
+		e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvCacheHit,
+			Node: trace.None, Agent: agentID, Detail: key})
 		res := *prev
 		res.Cached = true
 		res.Duration = 0
@@ -297,6 +300,8 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 	} else {
 		cache[key] = res
 	}
+	e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvTaskSubmit,
+		Node: trace.None, Agent: agentID, Value: plan.Duration, Detail: key})
 	id := e.service.Submit(&balsam.Job{
 		AgentID:  agentID,
 		Key:      key,
@@ -346,6 +351,8 @@ func (e *Evaluator) failCompile(agentID int, key string, choices []int, msg stri
 		Failed:  true,
 		Err:     "evaluator: " + msg,
 	}
+	e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvCompileError,
+		Node: trace.None, Agent: agentID, Detail: key})
 	e.sim.At(0, func() {
 		res.FinishTime = e.sim.Now()
 		e.record(res)
@@ -393,6 +400,17 @@ func (e *Evaluator) virtualTotalBatches() int {
 }
 
 func (e *Evaluator) record(r *Result) {
+	var flag string
+	switch {
+	case r.Cached:
+		flag = "cached"
+	case r.Failed:
+		flag = "failed"
+	case r.TimedOut:
+		flag = "timeout"
+	}
+	e.sim.Recorder().Emit(trace.Event{Kind: trace.KindSpan, Cat: trace.CatEval, Name: trace.EvResult,
+		Dur: r.Duration, Node: trace.None, Agent: r.AgentID, Value: r.Reward, Detail: flag})
 	e.Trace = append(e.Trace, r)
 	e.finished[r.AgentID] = append(e.finished[r.AgentID], r)
 }

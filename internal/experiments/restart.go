@@ -11,6 +11,7 @@ import (
 	"nasgo/internal/analytics"
 	"nasgo/internal/report"
 	"nasgo/internal/search"
+	"nasgo/internal/trace"
 )
 
 // RestartResult is the restart-chain experiment: one long uninterrupted
@@ -40,6 +41,9 @@ type RestartOpts struct {
 	// CheckpointDir keeps the chain's checkpoint files in this directory
 	// instead of a private temp directory that is removed afterwards.
 	CheckpointDir string
+	// TracePath records the chained run's event trace (one seamless JSONL
+	// across all allocations, ckpt cut/resume marks included) to this file.
+	TracePath string
 }
 
 // Restart runs the A3C Combo search once uninterrupted (shared with the
@@ -77,7 +81,11 @@ func RestartWith(sc Scale, opts RestartOpts) *RestartResult {
 		panic(err)
 	}
 
-	log, ck, err := search.RunAllocation(bench, sp, cfg)
+	var rec *trace.Recorder
+	if opts.TracePath != "" {
+		rec = trace.NewRecorder(0)
+	}
+	log, ck, err := search.RunAllocationTraced(bench, sp, cfg, rec)
 	out.Allocations = 1
 	for err == nil && ck != nil {
 		path := filepath.Join(dir, fmt.Sprintf("alloc-%03d.ckpt", out.Allocations))
@@ -93,13 +101,25 @@ func RestartWith(sc Scale, opts RestartOpts) *RestartResult {
 		if lerr != nil {
 			panic(lerr)
 		}
-		log, ck, err = search.ResumeAllocation(benchFor("Combo", sc.Seed), sp, loaded)
+		log, ck, err = search.ResumeAllocationTraced(benchFor("Combo", sc.Seed), sp, loaded, rec)
 		out.Allocations++
 	}
 	if err != nil {
 		panic(err)
 	}
 	out.Chained = log
+	if rec != nil {
+		f, ferr := os.Create(opts.TracePath)
+		if ferr != nil {
+			panic(ferr)
+		}
+		if werr := trace.WriteJSONL(f, rec.Events()); werr != nil {
+			panic(werr)
+		}
+		if cerr := f.Close(); cerr != nil {
+			panic(cerr)
+		}
+	}
 
 	normalized := *log
 	normalized.Config.Walltime = plain.Config.Walltime

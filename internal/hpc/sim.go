@@ -23,6 +23,8 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+
+	"nasgo/internal/trace"
 )
 
 // event is one scheduled callback. seq breaks time ties FIFO so simulations
@@ -60,6 +62,7 @@ type Sim struct {
 	now   float64
 	seq   int64
 	queue eventQueue
+	rec   *trace.Recorder
 }
 
 // NewSim returns a simulator at time zero.
@@ -71,6 +74,23 @@ func NewSimAt(now float64) *Sim { return &Sim{now: now} }
 
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
+
+// SetRecorder attaches a trace recorder (nil disables tracing, the
+// default). The simulator emits one CatSim dispatch event per processed
+// event and hands the recorder its clock, so every component sharing this
+// simulator stamps events with the same virtual time base. Recording never
+// alters scheduling: a nil recorder leaves the machine bit-for-bit
+// identical.
+func (s *Sim) SetRecorder(rec *trace.Recorder) {
+	s.rec = rec
+	rec.AttachClock(s.Now)
+}
+
+// Recorder returns the attached trace recorder (possibly nil — the
+// returned recorder is nil-safe either way). Components running on this
+// simulator emit through it so the whole machine shares one trace and one
+// clock.
+func (s *Sim) Recorder() *trace.Recorder { return s.rec }
 
 // At schedules fn to run after delay seconds of virtual time. Negative
 // delays panic: an event cannot fire in the past.
@@ -119,6 +139,7 @@ func (s *Sim) Step() bool {
 		panic("hpc: event queue went backwards")
 	}
 	s.now = e.time
+	s.rec.Emit(trace.Event{Cat: trace.CatSim, Name: trace.EvDispatch, Node: trace.None, Agent: trace.None})
 	e.fn()
 	return true
 }

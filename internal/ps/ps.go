@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nasgo/internal/hpc"
+	"nasgo/internal/trace"
 )
 
 // Mode selects the aggregation discipline.
@@ -121,6 +122,8 @@ func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64))
 		s.pending = append(s.pending, grad)
 		s.pendingAgents = append(s.pendingAgents, agentID)
 		s.waiters = append(s.waiters, done)
+		s.sim.Recorder().Emit(trace.Event{Cat: trace.CatPS, Name: trace.EvBarrierWait,
+			Node: trace.None, Agent: agentID, Value: float64(len(s.pending))})
 		if len(s.pending) < s.cfg.Agents {
 			return
 		}
@@ -131,6 +134,8 @@ func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64))
 		s.pendingAgents = nil
 		s.waiters = nil
 		s.rounds++
+		s.sim.Recorder().Emit(trace.Event{Cat: trace.CatPS, Name: trace.EvBarrierRelease,
+			Node: trace.None, Agent: trace.None, Value: float64(s.rounds)})
 		for i, w := range waiters {
 			s.deliver(agents[i], avg, w)
 		}
@@ -139,6 +144,8 @@ func (s *Server) Exchange(agentID int, grad []float64, done func(avg []float64))
 		if len(s.window) > s.cfg.Window {
 			s.window = s.window[len(s.window)-s.cfg.Window:]
 		}
+		s.sim.Recorder().Emit(trace.Event{Cat: trace.CatPS, Name: trace.EvWindowFlush,
+			Node: trace.None, Agent: agentID, Value: float64(len(s.window))})
 		avg := average(s.window)
 		s.deliver(agentID, avg, done)
 	default:
@@ -169,6 +176,11 @@ func (s *Server) fire(d *delivery) {
 			break
 		}
 	}
+	// Emitted at fire time (shared by deliver and redeliver), so a resumed
+	// run records the delivery exactly once, on whichever side of the cut it
+	// lands.
+	s.sim.Recorder().Emit(trace.Event{Cat: trace.CatPS, Name: trace.EvDeliver,
+		Node: trace.None, Agent: d.agentID})
 	d.fn(d.avg)
 }
 

@@ -44,6 +44,7 @@ import (
 	"nasgo/internal/rl"
 	"nasgo/internal/rng"
 	"nasgo/internal/space"
+	"nasgo/internal/trace"
 )
 
 // EpisodeState is one sampled architecture of an agent's current round.
@@ -130,13 +131,21 @@ type Checkpoint struct {
 // boundary; pass the checkpoint to ResumeAllocation (possibly in a later
 // process, via WriteFile/LoadCheckpoint) to continue.
 func RunAllocation(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, *Checkpoint, error) {
+	return RunAllocationTraced(bench, sp, cfg, nil)
+}
+
+// RunAllocationTraced is RunAllocation with a trace recorder attached to
+// the allocation's machine (nil behaves exactly like RunAllocation). A
+// walltime cut appends a CatCkpt cut mark, the only trace difference
+// against an uninterrupted run.
+func RunAllocationTraced(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, *Checkpoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if cfg.Walltime <= 0 {
 		return nil, nil, fmt.Errorf("search: RunAllocation needs Walltime > 0 virtual seconds, got %g", cfg.Walltime)
 	}
-	r := newRunner(bench, sp, cfg)
+	r := newRunner(bench, sp, cfg, rec)
 	r.boundary = r.cfg.Walltime
 	r.start()
 	return r.finishAllocation()
@@ -146,6 +155,15 @@ func RunAllocation(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, 
 // allocation. The benchmark and space must be the ones the checkpoint was
 // taken from.
 func ResumeAllocation(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint) (*Log, *Checkpoint, error) {
+	return ResumeAllocationTraced(bench, sp, ck, nil)
+}
+
+// ResumeAllocationTraced is ResumeAllocation with a trace recorder
+// attached to the restored machine. Handing the predecessor allocation's
+// recorder here makes the chain's trace concatenate seamlessly: apart from
+// the CatCkpt cut/resume marks, the combined event stream is byte-
+// identical to an uninterrupted run's (the golden-trace test pins this).
+func ResumeAllocationTraced(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint, rec *trace.Recorder) (*Log, *Checkpoint, error) {
 	if bench.Name != ck.Bench {
 		return nil, nil, fmt.Errorf("search: checkpoint is for benchmark %q, resume got %q", ck.Bench, bench.Name)
 	}
@@ -154,6 +172,9 @@ func ResumeAllocation(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint) 
 	}
 	cfg := ck.Config
 	sim := hpc.NewSimAt(ck.Now)
+	sim.SetRecorder(rec)
+	rec.Emit(trace.Event{Cat: trace.CatCkpt, Name: trace.EvResume,
+		Node: trace.None, Agent: trace.None, Value: float64(ck.Allocations)})
 	service, events := balsam.RestoreService(sim, cfg.Agents*cfg.WorkersPerAgent, balsam.Options{
 		Faults:       cfg.Faults,
 		FaultHorizon: cfg.Horizon,
@@ -248,6 +269,8 @@ func (r *runner) finishAllocation() (*Log, *Checkpoint, error) {
 // draws, no event scheduling — so taking a checkpoint never perturbs the
 // run.
 func (r *runner) capture() *Checkpoint {
+	r.sim.Recorder().Emit(trace.Event{Cat: trace.CatCkpt, Name: trace.EvCut,
+		Node: trace.None, Agent: trace.None, Value: float64(r.allocations + 1)})
 	ck := &Checkpoint{
 		Bench:         r.bench.Name,
 		SpaceName:     r.space.Name,

@@ -30,6 +30,7 @@ import (
 	"nasgo/internal/rl"
 	"nasgo/internal/rng"
 	"nasgo/internal/space"
+	"nasgo/internal/trace"
 )
 
 // Strategy names.
@@ -259,6 +260,23 @@ const (
 	phaseRoundWait
 )
 
+// phaseName names a phase for the trace (Detail of CatSearch phase events).
+func phaseName(p int) string {
+	switch p {
+	case phaseIdle:
+		return "idle"
+	case phaseEval:
+		return "eval"
+	case phaseExchange:
+		return "exchange"
+	case phaseUpdate:
+		return "update"
+	case phaseRoundWait:
+		return "roundwait"
+	}
+	return fmt.Sprintf("phase%d", p)
+}
+
 // agent is one searcher's state machine: an RL controller (A3C/A2C), an
 // evolution population (EVO), or neither (RDM).
 type agent struct {
@@ -293,26 +311,36 @@ type agent struct {
 // (benchmark, space, config): with Walltime set, the run chains
 // checkpointed allocations and still produces the identical log.
 func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
-	log, err := run(bench, sp, cfg)
+	log, err := run(bench, sp, cfg, nil)
 	if err != nil {
 		panic(err)
 	}
 	return log
 }
 
-func run(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, error) {
+// RunTraced is Run with a trace recorder attached to the machine for the
+// whole run (including across walltime-chained allocations, whose ckpt
+// cut/resume marks appear in the trace). rec may be nil, in which case the
+// run is bit-identical to Run — the recorder never influences the
+// simulation. The recorder is deliberately not part of Config: Config is
+// gob-encoded into checkpoints, and a recorder is a live in-process object.
+func RunTraced(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, error) {
+	return run(bench, sp, cfg, rec)
+}
+
+func run(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Walltime > 0 {
 		// Chain walltime-bounded allocations through in-memory checkpoints.
-		log, ck, err := RunAllocation(bench, sp, cfg)
+		log, ck, err := RunAllocationTraced(bench, sp, cfg, rec)
 		for err == nil && ck != nil {
-			log, ck, err = ResumeAllocation(bench, sp, ck)
+			log, ck, err = ResumeAllocationTraced(bench, sp, ck, rec)
 		}
 		return log, err
 	}
-	r := newRunner(bench, sp, cfg)
+	r := newRunner(bench, sp, cfg, rec)
 	r.start()
 	r.sim.RunAll()
 	return r.buildLog(), nil
@@ -321,9 +349,10 @@ func run(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, error) {
 // newRunner builds a fresh runner: simulator at time zero, service,
 // evaluator, parameter server, and agents. The RNG draw sequence here is
 // the reference a resumed runner replays before overwriting state.
-func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config) *runner {
+func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) *runner {
 	cfg = cfg.withDefaults()
 	sim := hpc.NewSim()
+	sim.SetRecorder(rec)
 	if cfg.Faults.Enabled() && cfg.Faults.Seed == 0 {
 		cfg.Faults.Seed = cfg.Seed ^ 0xfa117
 	}
@@ -415,10 +444,20 @@ func (r *runner) buildLog() *Log {
 	return log
 }
 
+// setPhase moves the agent's state machine to phase p and records the
+// transition. Checkpoint restore assigns a.phase directly instead: the
+// transition was already recorded by the allocation that performed it, so
+// a resumed run's trace concatenates without duplicate phase events.
+func (a *agent) setPhase(p int) {
+	a.phase = p
+	a.r.sim.Recorder().Emit(trace.Event{Cat: trace.CatSearch, Name: trace.EvPhase,
+		Node: trace.None, Agent: a.id, Value: float64(p), Detail: phaseName(p)})
+}
+
 func (a *agent) startRound() {
 	r := a.r
 	if r.stopped || r.sim.Now() >= r.cfg.Horizon {
-		a.phase = phaseIdle
+		a.setPhase(phaseIdle)
 		return
 	}
 	m := r.cfg.WorkersPerAgent
@@ -433,7 +472,7 @@ func (a *agent) startRound() {
 			a.eps[i] = &rl.Episode{Choices: r.space.RandomChoices(a.rand)}
 		}
 	}
-	a.phase = phaseEval
+	a.setPhase(phaseEval)
 	a.curEpoch = 0
 	a.pending = m
 	a.cached = 0
@@ -508,6 +547,8 @@ func (a *agent) roundDone() {
 			r.stopped = true
 			r.converged = true
 			r.endTime = r.sim.Now()
+			r.sim.Recorder().Emit(trace.Event{Cat: trace.CatSearch, Name: trace.EvConverged,
+				Node: trace.None, Agent: a.id})
 		}
 	}
 	if a.failed > 0 {
@@ -533,7 +574,7 @@ func (a *agent) roundDone() {
 // waitNextRound schedules the RDM/EVO resubmission latency, recording the
 // event's queue position for checkpoints.
 func (a *agent) waitNextRound() {
-	a.phase = phaseRoundWait
+	a.setPhase(phaseRoundWait)
 	a.evTime, a.evSeq = a.r.sim.AtE(1, a.startRound)
 }
 
@@ -554,14 +595,14 @@ func (a *agent) ppoEpoch(k int) {
 	} else {
 		grad = make([]float64, a.ctrl.Params().Count())
 	}
-	a.phase = phaseExchange
+	a.setPhase(phaseExchange)
 	a.r.psrv.Exchange(a.id, grad, a.gradAveraged)
 }
 
 // gradAveraged receives the averaged gradient from the parameter server and
 // schedules the UpdateCost delay before it is applied.
 func (a *agent) gradAveraged(avg []float64) {
-	a.phase = phaseUpdate
+	a.setPhase(phaseUpdate)
 	a.pendingAvg = avg
 	a.evTime, a.evSeq = a.r.sim.AtE(a.r.cfg.UpdateCost, a.applyUpdate)
 }

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSONL writes one JSON object per event, one per line, in order.
+// This is the canonical serialization: Digest hashes these bytes, and
+// ReadJSONL round-trips them exactly.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event log written by WriteJSONL. The decoder is
+// strict: unknown fields, trailing garbage on a line, and events without a
+// category or name are errors, each reported with its 1-based line number.
+// Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		// A line must hold exactly one object.
+		if dec.More() {
+			return nil, fmt.Errorf("trace: line %d: trailing data after event", line)
+		}
+		if ev.Cat == "" || ev.Name == "" {
+			return nil, fmt.Errorf("trace: line %d: event missing cat or name", line)
+		}
+		if ev.Kind < KindInstant || ev.Kind > KindCounter {
+			return nil, fmt.Errorf("trace: line %d: unknown event kind %d", line, ev.Kind)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return events, nil
+}
+
+// Digest returns the SHA-256 of the trace's canonical JSONL serialization.
+func Digest(events []Event) [32]byte {
+	h := sha256.New()
+	// sha256.Hash never fails to write.
+	_ = WriteJSONL(h, events)
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Times are
+// microseconds; we map virtual seconds 1:1 onto them so one trace second
+// reads as one second in the viewer.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`
+	Dur  float64                `json:"dur,omitempty"`
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	S    string                 `json:"s,omitempty"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChrome renders the trace in Chrome trace_event format (the JSON
+// object form, {"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. Each simulated node becomes a "process" (pid = node+1;
+// pid 0 collects infrastructure events with no node), and each search
+// agent becomes a thread within its process. Spans emit complete events
+// ("X") positioned at their start; counters emit "C" samples.
+func WriteChrome(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events)+8)
+
+	// Name the processes up front via metadata events.
+	pids := map[int]bool{}
+	for _, ev := range events {
+		pids[ev.Node+1] = true
+	}
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Ints(order)
+	for _, pid := range order {
+		name := "infrastructure"
+		if pid > 0 {
+			name = fmt.Sprintf("node %d", pid-1)
+		}
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]interface{}{"name": name},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Pid:  ev.Node + 1,
+			Tid:  ev.Agent + 1,
+		}
+		args := map[string]interface{}{}
+		if ev.Job != 0 {
+			args["job"] = ev.Job
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		switch ev.Kind {
+		case KindSpan:
+			ce.Ph = "X"
+			ce.Ts = (ev.Time - ev.Dur) * 1e6
+			ce.Dur = ev.Dur * 1e6
+			if ev.Value != 0 {
+				args["value"] = ev.Value
+			}
+		case KindCounter:
+			ce.Ph = "C"
+			ce.Ts = ev.Time * 1e6
+			args[ev.Name] = ev.Value
+		default:
+			ce.Ph = "i"
+			ce.Ts = ev.Time * 1e6
+			ce.S = "t" // thread-scoped instant
+			if ev.Value != 0 {
+				args["value"] = ev.Value
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out})
+}
+
+// SpanStat aggregates the spans sharing one cat/name pair.
+type SpanStat struct {
+	Count    int
+	TotalDur float64 // summed span length, virtual seconds
+}
+
+// Metrics is an aggregate summary of a trace: event counts by category,
+// per-name span statistics, final counter readings, and the covered
+// virtual-time range. internal/analytics and the CLI tools consume this
+// instead of re-walking the raw event stream.
+type Metrics struct {
+	Events   int
+	ByCat    map[string]int
+	ByName   map[string]int
+	Spans    map[string]SpanStat // keyed cat/name
+	Counters map[string]float64  // last sampled value, keyed cat/name
+	Start    float64
+	End      float64
+}
+
+// Summarize folds a trace into Metrics.
+func Summarize(events []Event) Metrics {
+	m := Metrics{
+		ByCat:    map[string]int{},
+		ByName:   map[string]int{},
+		Spans:    map[string]SpanStat{},
+		Counters: map[string]float64{},
+	}
+	for i, ev := range events {
+		m.Events++
+		m.ByCat[ev.Cat]++
+		key := ev.Cat + "/" + ev.Name
+		m.ByName[key]++
+		switch ev.Kind {
+		case KindSpan:
+			st := m.Spans[key]
+			st.Count++
+			st.TotalDur += ev.Dur
+			m.Spans[key] = st
+		case KindCounter:
+			m.Counters[key] = ev.Value
+		}
+		if i == 0 || ev.Time < m.Start {
+			m.Start = ev.Time
+		}
+		if ev.Time > m.End {
+			m.End = ev.Time
+		}
+	}
+	return m
+}
+
+// Format renders the metrics as a small human-readable report.
+func (m Metrics) Format() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "trace: %d events over [%.1f, %.1f] virtual s\n", m.Events, m.Start, m.End)
+	cats := make([]string, 0, len(m.ByCat))
+	for c := range m.ByCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  %-8s %6d\n", c, m.ByCat[c])
+	}
+	keys := make([]string, 0, len(m.Spans))
+	for k := range m.Spans {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := m.Spans[k]
+		fmt.Fprintf(&b, "  span %-22s n=%-6d total=%.1fs mean=%.2fs\n",
+			k, st.Count, st.TotalDur, st.TotalDur/float64(st.Count))
+	}
+	keys = keys[:0]
+	for k := range m.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  counter %-19s last=%g\n", k, m.Counters[k])
+	}
+	return b.String()
+}

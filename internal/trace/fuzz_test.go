@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadJSONL throws arbitrary bytes at the strict JSONL decoder. It
+// must never panic; anything it accepts must survive a canonical
+// write/read cycle unchanged — the property Digest's golden hashes and
+// the chained-trace comparisons rest on.
+func FuzzReadJSONL(f *testing.F) {
+	var sample bytes.Buffer
+	if err := WriteJSONL(&sample, []Event{
+		{Time: 1, Cat: CatSim, Name: EvDispatch, Node: None, Agent: None},
+		{Time: 2.5, Dur: 0.5, Kind: KindSpan, Cat: CatEval, Name: EvResult, Node: 1, Agent: 2, Job: 7, Value: 0.42, Detail: "cached"},
+		{Time: 3, Kind: KindCounter, Cat: CatBalsam, Name: EvQueueDepth, Node: None, Agent: None, Value: 4},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte(`{"t":1,"cat":"sim","name":"dispatch","node":-1,"agent":-1}`))
+	f.Add([]byte(`{"t":1,"cat":"","name":"x","node":0,"agent":0}`))        // missing cat
+	f.Add([]byte(`{"t":1,"k":9,"cat":"c","name":"n","node":0,"agent":0}`)) // kind out of range
+	f.Add([]byte(`{"t":1,"cat":"c","name":"n","node":0,"agent":0,"bogus":true}`))
+	f.Add([]byte(`{"t":1,"cat":"c","name":"n","node":0,"agent":0} {"extra":1}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"t":1e999,"cat":"c","name":"n","node":0,"agent":0}`)) // overflows float64
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			if ev.Cat == "" || ev.Name == "" {
+				t.Fatalf("event %d accepted without cat/name: %+v", i, ev)
+			}
+			if ev.Kind < KindInstant || ev.Kind > KindCounter {
+				t.Fatalf("event %d accepted with kind %d", i, ev.Kind)
+			}
+		}
+		var canon bytes.Buffer
+		if err := WriteJSONL(&canon, events); err != nil {
+			t.Fatalf("re-encode accepted events: %v", err)
+		}
+		again, err := ReadJSONL(bytes.NewReader(canon.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip changed event count: %d → %d", len(events), len(again))
+		}
+		for i := range events {
+			if events[i] != again[i] {
+				t.Fatalf("round trip changed event %d: %+v → %+v", i, events[i], again[i])
+			}
+		}
+		if Digest(events) != Digest(again) {
+			t.Fatal("round trip changed digest")
+		}
+	})
+}

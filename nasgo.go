@@ -30,6 +30,7 @@ import (
 	"nasgo/internal/posttrain"
 	"nasgo/internal/search"
 	"nasgo/internal/space"
+	"nasgo/internal/trace"
 )
 
 // Search strategy names (§3.2 of the paper).
@@ -75,6 +76,12 @@ type (
 	// SearchCheckpoint is the complete state of a search interrupted at a
 	// walltime boundary; ResumeSearchAllocation continues it bit-for-bit.
 	SearchCheckpoint = search.Checkpoint
+	// TraceRecorder records structured, virtual-clock-keyed events from
+	// every layer of the simulated machine (attach with the *Traced run
+	// variants); internal/trace exports JSONL and Chrome trace_event forms.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one recorded event.
+	TraceEvent = trace.Event
 )
 
 // NewBenchmark builds a CANDLE benchmark ("Combo", "Uno", or "NT3").
@@ -95,6 +102,18 @@ func RunSearch(bench *Benchmark, sp *Space, cfg SearchConfig) *SearchLog {
 	return search.Run(bench, sp, cfg)
 }
 
+// NewTraceRecorder creates a trace recorder for the *Traced run variants.
+// capacity is the event ring-buffer size; 0 selects the default (2¹⁸).
+func NewTraceRecorder(capacity int) *TraceRecorder { return trace.NewRecorder(capacity) }
+
+// RunSearchTraced is RunSearch with a trace recorder attached to the
+// simulated machine. A nil recorder reproduces RunSearch bit-for-bit; a
+// non-nil one records the run's complete event stream without perturbing
+// it.
+func RunSearchTraced(bench *Benchmark, sp *Space, cfg SearchConfig, rec *TraceRecorder) (*SearchLog, error) {
+	return search.RunTraced(bench, sp, cfg, rec)
+}
+
 // LoadSearchLog reads a log saved with SearchLog.WriteJSON.
 func LoadSearchLog(path string) (*SearchLog, error) { return search.LoadLog(path) }
 
@@ -107,11 +126,25 @@ func RunSearchAllocation(bench *Benchmark, sp *Space, cfg SearchConfig) (*Search
 	return search.RunAllocation(bench, sp, cfg)
 }
 
+// RunSearchAllocationTraced is RunSearchAllocation with a trace recorder
+// attached to the allocation's machine.
+func RunSearchAllocationTraced(bench *Benchmark, sp *Space, cfg SearchConfig, rec *TraceRecorder) (*SearchLog, *SearchCheckpoint, error) {
+	return search.RunAllocationTraced(bench, sp, cfg, rec)
+}
+
 // ResumeSearchAllocation continues a checkpointed search for one more
 // walltime allocation. The chained run's log is bit-identical to an
 // uninterrupted run of the same configuration.
 func ResumeSearchAllocation(bench *Benchmark, sp *Space, ck *SearchCheckpoint) (*SearchLog, *SearchCheckpoint, error) {
 	return search.ResumeAllocation(bench, sp, ck)
+}
+
+// ResumeSearchAllocationTraced is ResumeSearchAllocation with a trace
+// recorder attached to the restored machine. Handing successive
+// allocations the same recorder yields one seamless trace of the whole
+// chained run.
+func ResumeSearchAllocationTraced(bench *Benchmark, sp *Space, ck *SearchCheckpoint, rec *TraceRecorder) (*SearchLog, *SearchCheckpoint, error) {
+	return search.ResumeAllocationTraced(bench, sp, ck, rec)
 }
 
 // LoadSearchCheckpoint reads a checkpoint saved with

@@ -15,6 +15,19 @@ fi
 
 go vet ./...
 go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/ \
-    ./internal/ckpt/ ./internal/ps/ ./internal/optim/
+    ./internal/ckpt/ ./internal/ps/ ./internal/optim/ ./internal/trace/ ./internal/analytics/
 go test -race -run TestShort ./internal/search/
+
+# Coverage gate on the persistence-critical parsers: the trace codec and the
+# checkpoint container must stay thoroughly tested — a regression here can
+# silently corrupt recorded runs or checkpoint chains.
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ >/dev/null
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
+    echo "check.sh: trace+ckpt coverage ${total}% is below the 85% gate" >&2
+    exit 1
+fi
+echo "check.sh: trace+ckpt coverage ${total}%"
 echo "check.sh: OK"
