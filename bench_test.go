@@ -346,6 +346,24 @@ func BenchmarkRestart_Chain(b *testing.B) {
 	b.ReportMetric(total/1024, "checkpoint_kib_total")
 }
 
+// --- Worker pool: wall-clock speedup at a fixed virtual schedule ---
+
+func BenchmarkWorkers_Speedup(b *testing.B) {
+	r := experiments.Workers(benchScale)
+	writeResult(b, "workers", r.Render())
+	b.ResetTimer()
+	identical := 0.0
+	for i := 0; i < b.N; i++ {
+		if r.Identical {
+			identical = 1
+		}
+	}
+	b.ReportMetric(identical, "logs_bit_identical")
+	b.ReportMetric(r.Speedup, "pooled_speedup_x")
+	b.ReportMetric(float64(r.MaxProcs), "gomaxprocs")
+	b.ReportMetric(r.Rows[0].WallSeconds, "serial_wall_s")
+}
+
 // sanity check that the analytics used above behave on live logs.
 func BenchmarkTrajectoryAnalysis(b *testing.B) {
 	f4 := experiments.Fig4("Combo", benchScale)

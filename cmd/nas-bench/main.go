@@ -8,6 +8,7 @@
 //	nas-bench -exp all -scale quick -out results/
 //	nas-bench -exp restart -walltime 1200 -checkpoint results/ckpt
 //	nas-bench -exp restart -trace results/restart.trace.jsonl
+//	nas-bench -exp workers -workers 0  # time the evaluator pool at GOMAXPROCS
 //	nas-bench -resume results/ckpt/alloc-001.ckpt -trace resumed.trace.jsonl
 //
 // Search runs are memoized in-process, so "-exp all" shares runs between
@@ -33,8 +34,9 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, restart, ...) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, restart, workers, ...) or 'all'")
 		scale    = flag.String("scale", "quick", "scale preset: quick, default, or paper")
+		workers  = flag.Int("workers", 1, "concurrent reward-estimation trainings on the host (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any setting")
 		out      = flag.String("out", "bench_results", "write each rendering to <out>/<exp>.txt ('' disables)")
 		walltime = flag.Float64("walltime", 0, "restart experiment: virtual seconds per allocation (0 derives a third of the run)")
 		ckptDir  = flag.String("checkpoint", "", "restart experiment: keep the chain's checkpoint files in this directory")
@@ -55,6 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	sc.EvalWorkers = *workers
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = nasgo.ExperimentNames()

@@ -24,6 +24,7 @@ package evaluator
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"nasgo/internal/balsam"
@@ -115,6 +116,16 @@ type Config struct {
 	// the paper's accuracy-only reward.
 	SizeWeight float64
 	TimeWeight float64
+	// Workers bounds how many real scaled-dimension trainings may run
+	// concurrently on the host (DESIGN.md §10). The virtual machine is
+	// untouched: Submit starts each training as a future and the task's
+	// completion event on the simulated timeline joins it, so results are
+	// byte-identical at every setting — the pool buys wall-clock speedup
+	// only. 0 (the default) resolves to GOMAXPROCS at construction time,
+	// never in the config itself, so checkpoints stay machine-independent;
+	// 1 (or a 1-core host) disables the pool and trains inline, the exact
+	// pre-pool serial machine.
+	Workers int
 	// Seed drives per-task weight initialization and subsampling.
 	Seed uint64
 }
@@ -177,6 +188,10 @@ type Evaluator struct {
 	Trace []*Result
 	// CacheHits counts cache-served submissions.
 	CacheHits int
+
+	// sem gates the concurrent-training pool (pool.go); nil when
+	// Cfg.Workers resolves to 1, which disables the pool entirely.
+	sem chan struct{}
 }
 
 // New creates an evaluator over the given simulator and Balsam service.
@@ -201,6 +216,13 @@ func New(sim *hpc.Sim, service *balsam.Service, bench *candle.Benchmark, sp *spa
 	if cfg.Fidelity < 1 {
 		e.rewardTrain = bench.Train.Subsample(cfg.Fidelity, e.rootRand.Split())
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		e.sem = make(chan struct{}, workers)
+	}
 	return e
 }
 
@@ -213,11 +235,13 @@ func (e *Evaluator) agentSeed(agentID int) uint64 {
 	return s
 }
 
-// inflightRecord pairs an in-flight result with the cache it may occupy.
+// inflightRecord pairs an in-flight result with the cache it may occupy
+// and, when the worker pool is enabled, the future computing its reward.
 type inflightRecord struct {
 	res     *Result
 	cacheID int
 	inCache bool
+	fut     *future // nil on the serial path and after resolve
 }
 
 // Submit schedules one reward estimation; onDone fires (in virtual time)
@@ -238,18 +262,27 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 		e.caches[cacheID] = cache
 	}
 	if prev, ok := cache[key]; ok {
-		e.CacheHits++
-		e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvCacheHit,
-			Node: trace.None, Agent: agentID, Detail: key})
-		res := *prev
-		res.Cached = true
-		res.Duration = 0
-		e.sim.At(0, func() {
-			res.FinishTime = e.sim.Now()
-			e.record(&res)
-			onDone(&res)
-		})
-		return 0
+		if e.sem != nil {
+			// The entry may still be training on the worker pool (optimistic
+			// insert); join it before copying. The join can evict a diverged
+			// training — then this submission is a miss, exactly as on the
+			// serial machine, which never cached it in the first place.
+			e.resolve(e.pendingRecord(prev))
+		}
+		if _, still := cache[key]; still {
+			e.CacheHits++
+			e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvCacheHit,
+				Node: trace.None, Agent: agentID, Detail: key})
+			res := *prev
+			res.Cached = true
+			res.Duration = 0
+			e.sim.At(0, func() {
+				res.FinishTime = e.sim.Now()
+				e.record(&res)
+				onDone(&res)
+			})
+			return 0
+		}
 	}
 
 	// Virtual plan at paper dimensions. A malformed architecture must not
@@ -272,32 +305,45 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 	})
 
 	// Real training at scaled dimensions, eagerly computed; its reward is
-	// revealed when the virtual task completes.
-	metric, err := e.realReward(agentID, choices, plan)
+	// revealed when the virtual task completes. The prologue — RNG stream
+	// derivation and the scaled-dimension compile — always runs here,
+	// synchronously in Submit order, so RNG positions and compile failures
+	// are identical at every Workers setting.
+	taskRand, ir, err := e.prepareTraining(agentID, choices)
 	if err != nil {
 		e.failCompile(agentID, key, choices, err.Error(), onDone)
 		return 0
 	}
-	reward := e.shapeReward(metric, stats)
 
 	res := &Result{
 		AgentID:  agentID,
 		Key:      key,
 		Choices:  append([]int(nil), choices...),
-		Reward:   reward,
 		Params:   stats.Params,
 		FwdFLOPs: stats.FwdFLOPs,
 		TimedOut: plan.TimedOut,
 		Duration: plan.Duration,
 	}
-	if !isFinite(reward) {
-		// A diverged training run (NaN/Inf loss) must surface as a failed
-		// evaluation, not poison the agent's policy update or the cache.
-		// The virtual task still runs, so timing dynamics are unchanged.
-		res.Failed = true
-		res.Err = fmt.Sprintf("evaluator: non-finite reward %g", reward)
-		res.Reward = 0
+	var fut *future
+	if e.sem == nil {
+		reward := e.shapeReward(e.trainReal(taskRand, ir, plan), stats)
+		res.Reward = reward
+		if !isFinite(reward) {
+			// A diverged training run (NaN/Inf loss) must surface as a failed
+			// evaluation, not poison the agent's policy update or the cache.
+			// The virtual task still runs, so timing dynamics are unchanged.
+			res.Failed = true
+			res.Err = fmt.Sprintf("evaluator: non-finite reward %g", reward)
+			res.Reward = 0
+		} else {
+			cache[key] = res
+		}
 	} else {
+		// Pool path: the training overlaps the virtual clock as a future;
+		// the completion event joins it. The cache insert stays at submit
+		// time (the serial machine's behavior, so duplicate submissions
+		// in flight still hit); resolve undoes it if the training diverges.
+		fut = e.launch(agentID, taskRand, ir, plan, stats, key)
 		cache[key] = res
 	}
 	e.sim.Recorder().Emit(trace.Event{Cat: trace.CatEval, Name: trace.EvTaskSubmit,
@@ -310,7 +356,7 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 		Payload:  res,
 		OnDone:   e.jobOnDone(res, cacheID, onDone),
 	})
-	e.inflight[id] = &inflightRecord{res: res, cacheID: cacheID, inCache: !res.Failed}
+	e.inflight[id] = &inflightRecord{res: res, cacheID: cacheID, inCache: !res.Failed, fut: fut}
 	return id
 }
 
@@ -318,6 +364,10 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 // out so Relink can rebuild the exact same callback on a restored service.
 func (e *Evaluator) jobOnDone(res *Result, cacheID int, onDone func(*Result)) func(*balsam.Job) {
 	return func(j *balsam.Job) {
+		// Join the training future first (no-op on the serial path): this is
+		// THE synchronization point of the worker pool, on the virtual
+		// timeline, before any shared state below is touched.
+		e.resolve(e.inflight[j.ID])
 		delete(e.inflight, j.ID)
 		res.FinishTime = e.sim.Now()
 		res.Attempts = j.Attempts
@@ -360,15 +410,25 @@ func (e *Evaluator) failCompile(agentID int, key string, choices []int, msg stri
 	})
 }
 
-// realReward trains the scaled-down architecture and returns the validation
-// metric. The virtual plan's achieved batch fraction truncates the real
-// training budget, so virtual timeouts degrade real rewards.
-func (e *Evaluator) realReward(agentID int, choices []int, plan hpc.RewardEstimate) (float64, error) {
+// prepareTraining is the synchronous prologue of a real reward estimation:
+// the per-task RNG stream (derived in Submit order, so stream positions are
+// identical at every Workers setting) and the scaled-dimension compile,
+// whose failure must surface at submit time.
+func (e *Evaluator) prepareTraining(agentID int, choices []int) (*rng.Rand, *space.ArchIR, error) {
 	taskRand := rng.New(e.agentSeed(agentID) ^ hashKey(e.Space.Hash(choices)))
 	ir, err := e.Space.Compile(choices, e.Bench.Train.InputDims(), e.Bench.UnitScale)
 	if err != nil {
-		return 0, fmt.Errorf("compile at scaled dims: %v", err)
+		return nil, nil, fmt.Errorf("compile at scaled dims: %v", err)
 	}
+	return taskRand, ir, nil
+}
+
+// trainReal trains the scaled-down architecture and returns the validation
+// metric. The virtual plan's achieved batch fraction truncates the real
+// training budget, so virtual timeouts degrade real rewards. It draws only
+// from taskRand and reads only immutable evaluator state, so the worker
+// pool may run it on any goroutine.
+func (e *Evaluator) trainReal(taskRand *rng.Rand, ir *space.ArchIR, plan hpc.RewardEstimate) float64 {
 	model := ir.BuildModel(taskRand.Split())
 
 	ds := e.rewardTrain
@@ -389,7 +449,7 @@ func (e *Evaluator) realReward(agentID int, choices []int, plan hpc.RewardEstima
 			Rand:       taskRand.Split(),
 		})
 	}
-	return train.Evaluate(model, e.Bench.Val), nil
+	return train.Evaluate(model, e.Bench.Val)
 }
 
 // virtualTotalBatches returns the virtual plan's full batch count for the
@@ -469,8 +529,12 @@ type State struct {
 	Inflight   []InflightState
 }
 
-// CaptureState snapshots the evaluator. Results are deep-copied.
+// CaptureState snapshots the evaluator. Results are deep-copied. Pending
+// training futures are drained (joined) first — a checkpoint must never
+// serialize a half-trained result — which makes the snapshot byte-identical
+// to the serial machine's at the same cut.
 func (e *Evaluator) CaptureState() *State {
+	e.drain()
 	st := &State{
 		Caches:     map[int]map[string]Result{},
 		AgentSeeds: map[int]uint64{},

@@ -1,0 +1,189 @@
+package evaluator
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"nasgo/internal/hpc"
+	"nasgo/internal/space"
+	"nasgo/internal/trace"
+)
+
+// variantChoices returns a valid architecture varied by k, so tests can
+// submit a handful of distinct real networks.
+func variantChoices(t *testing.T, sp *space.Space, k int) []int {
+	t.Helper()
+	choices := make([]int, sp.NumDecisions())
+	for i := range choices {
+		choices[i] = (i*7 + k) % len(sp.Decision(i).Ops)
+	}
+	if err := sp.CheckChoices(choices); err != nil {
+		t.Fatalf("variantChoices(%d): %v", k, err)
+	}
+	return choices
+}
+
+// submitSchedule plays the same submission schedule — three distinct
+// architectures across two agents plus one duplicate — into an evaluator
+// and returns the results in delivery order.
+func submitSchedule(t *testing.T, sim *hpc.Sim, ev *Evaluator, sp *space.Space) []*Result {
+	t.Helper()
+	var got []*Result
+	collect := func(r *Result) { got = append(got, r) }
+	ev.Submit(0, variantChoices(t, sp, 0), collect)
+	ev.Submit(1, variantChoices(t, sp, 1), collect)
+	ev.Submit(0, variantChoices(t, sp, 2), collect)
+	ev.Submit(0, variantChoices(t, sp, 0), collect) // duplicate: cache hit
+	sim.RunAll()
+	return got
+}
+
+// TestPoolMatchesSerial is the tentpole's core invariant at the evaluator
+// level: the worker pool at any width delivers results — and leaves behind
+// evaluator state — identical to the serial machine's.
+func TestPoolMatchesSerial(t *testing.T) {
+	simS, evS, sp := comboSetup(t, Config{Seed: 11, Workers: 1})
+	if evS.sem != nil {
+		t.Fatal("Workers=1 built a pool semaphore — serial path not literal")
+	}
+	serial := submitSchedule(t, simS, evS, sp)
+
+	for _, workers := range []int{2, 8} {
+		simP, evP, _ := comboSetup(t, Config{Seed: 11, Workers: workers})
+		if evP.sem == nil {
+			t.Fatalf("Workers=%d did not enable the pool", workers)
+		}
+		pooled := submitSchedule(t, simP, evP, sp)
+		if !reflect.DeepEqual(serial, pooled) {
+			t.Fatalf("Workers=%d results differ from serial:\n%+v\nvs\n%+v", workers, serial, pooled)
+		}
+		if !reflect.DeepEqual(evS.CaptureState(), evP.CaptureState()) {
+			t.Fatalf("Workers=%d captured state differs from serial", workers)
+		}
+		if evP.CacheHits != 1 {
+			t.Fatalf("Workers=%d: CacheHits = %d, want 1", workers, evP.CacheHits)
+		}
+	}
+}
+
+// TestPoolCaptureDrainsFutures pins the future/checkpoint interaction: a
+// capture cut landing while every submitted training is still in flight on
+// the pool must join them all first, yielding the exact snapshot the serial
+// machine produces — never a half-trained future — and the machine must
+// continue identically afterwards.
+func TestPoolCaptureDrainsFutures(t *testing.T) {
+	simS, evS, sp := comboSetup(t, Config{Seed: 12, Workers: 1})
+	simP, evP, _ := comboSetup(t, Config{Seed: 12, Workers: 8})
+	var gotS, gotP []*Result
+	for k := 0; k < 3; k++ {
+		choices := variantChoices(t, sp, k)
+		evS.Submit(0, choices, func(r *Result) { gotS = append(gotS, r) })
+		evP.Submit(0, choices, func(r *Result) { gotP = append(gotP, r) })
+	}
+	// No simulation step has run: on the pool machine all three futures are
+	// (potentially) still training here.
+	if evP.InflightCount() != 3 {
+		t.Fatalf("InflightCount = %d, want 3", evP.InflightCount())
+	}
+	stS, stP := evS.CaptureState(), evP.CaptureState()
+	if !reflect.DeepEqual(stS, stP) {
+		t.Fatalf("mid-flight capture differs from serial:\n%+v\nvs\n%+v", stS, stP)
+	}
+	for _, rec := range stP.Inflight {
+		if !isFinite(rec.Result.Reward) {
+			t.Fatalf("captured in-flight result has unresolved reward %g", rec.Result.Reward)
+		}
+	}
+	simS.RunAll()
+	simP.RunAll()
+	if !reflect.DeepEqual(gotS, gotP) {
+		t.Fatalf("post-capture completions differ:\n%+v\nvs\n%+v", gotS, gotP)
+	}
+}
+
+// TestPoolDivergedDuplicateIsMiss pins the optimistic-insert guard: a
+// duplicate submission of an architecture whose training diverged (NaN
+// reward via the NaN SizeWeight) must join the pending future, observe the
+// eviction, and run a fresh task — the serial machine never cached it.
+func TestPoolDivergedDuplicateIsMiss(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		sim, ev, sp := comboSetup(t, Config{Seed: 13, Workers: workers, SizeWeight: math.NaN()})
+		choices := denseChoices(sp)
+		var got []*Result
+		collect := func(r *Result) { got = append(got, r) }
+		id1 := ev.Submit(0, choices, collect)
+		id2 := ev.Submit(0, choices, collect)
+		if id1 == 0 || id2 == 0 || id1 == id2 {
+			t.Fatalf("Workers=%d: duplicate of a diverged training must launch a fresh task (ids %d, %d)", workers, id1, id2)
+		}
+		if ev.CacheHits != 0 {
+			t.Fatalf("Workers=%d: CacheHits = %d, want 0", workers, ev.CacheHits)
+		}
+		sim.RunAll()
+		if len(got) != 2 {
+			t.Fatalf("Workers=%d: %d results, want 2", workers, len(got))
+		}
+		for i, r := range got {
+			if !r.Failed || r.Reward != 0 {
+				t.Fatalf("Workers=%d: result %d not failed-with-zero-reward: %+v", workers, i, r)
+			}
+		}
+		if st := ev.CaptureState(); len(st.Caches[0]) != 0 {
+			t.Fatalf("Workers=%d: diverged training left %d cache entries", workers, len(st.Caches[0]))
+		}
+	}
+}
+
+// TestPoolTraceEvents pins the CatPool contract: the serial machine emits
+// none (its raw digest is the pre-pool machine's), the pooled machine emits
+// launch/join/drain marks, and stripping CatPool recovers the serial stream
+// exactly.
+func TestPoolTraceEvents(t *testing.T) {
+	run := func(workers int, capture bool) []trace.Event {
+		sim, ev, sp := comboSetup(t, Config{Seed: 14, Workers: workers})
+		rec := trace.NewRecorder(0)
+		sim.SetRecorder(rec)
+		for k := 0; k < 2; k++ {
+			ev.Submit(0, variantChoices(t, sp, k), func(*Result) {})
+		}
+		if capture {
+			ev.CaptureState() // drains mid-flight futures
+		}
+		sim.RunAll()
+		return rec.Events()
+	}
+	serial := run(1, false)
+	for _, ev := range serial {
+		if ev.Cat == trace.CatPool {
+			t.Fatalf("serial machine emitted a pool event: %+v", ev)
+		}
+	}
+	pooled := run(8, false)
+	launches, joins := 0, 0
+	for _, ev := range pooled {
+		switch ev.Name {
+		case trace.EvPoolLaunch:
+			launches++
+		case trace.EvPoolJoin:
+			joins++
+		}
+	}
+	if launches != 2 || joins != 2 {
+		t.Fatalf("pooled run recorded %d launches / %d joins, want 2/2", launches, joins)
+	}
+	stripped := trace.WithoutCat(pooled, trace.CatPool)
+	if trace.Digest(stripped) != trace.Digest(serial) {
+		t.Fatal("pooled trace digest differs from serial after stripping CatPool")
+	}
+	drained := run(8, true)
+	drains := 0
+	for _, ev := range drained {
+		if ev.Name == trace.EvPoolDrain {
+			drains++
+		}
+	}
+	if drains != 1 {
+		t.Fatalf("capture with pending futures recorded %d drain marks, want 1", drains)
+	}
+}

@@ -38,6 +38,12 @@ type Scale struct {
 	PostEpochs int
 	// Seed is the root seed of every run.
 	Seed uint64
+	// EvalWorkers bounds concurrent reward-estimation trainings on the host
+	// (evaluator.Config.Workers): 0 selects GOMAXPROCS, 1 (and the zero-value
+	// presets) trains serially. Search results are bit-identical at any
+	// setting — only wall time changes — so memoized runs may be shared
+	// across values and the run-cache key ignores it.
+	EvalWorkers int
 }
 
 // PaperScale is the paper's configuration. Running it end-to-end in pure
@@ -78,13 +84,15 @@ func ScaleByName(name string) (Scale, error) {
 
 // searchCfg builds the search configuration for a strategy at this scale.
 func (s Scale) searchCfg(strategy string, agents, workers int, fidelity float64, seed uint64) search.Config {
-	return search.Config{
+	cfg := search.Config{
 		Strategy:        strategy,
 		Agents:          agents,
 		WorkersPerAgent: workers,
 		Horizon:         s.Horizon,
 		Seed:            seed,
 	}
+	cfg.Eval.Workers = s.EvalWorkers
+	return cfg
 }
 
 // runCache memoizes search runs by configuration.
@@ -157,6 +165,6 @@ func Names() []string {
 		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "table1",
 		"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-		"ablation-evolution", "multiobjective", "faults", "restart",
+		"ablation-evolution", "multiobjective", "faults", "restart", "workers",
 	}
 }

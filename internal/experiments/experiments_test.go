@@ -8,6 +8,15 @@ import (
 	"nasgo/internal/search"
 )
 
+// skipSlow marks a tier-2 test — one that runs real micro-scale searches — so `go test -short ./...` stays a fast gate
+// (see CLAUDE.md "Test tiers").
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tier-2 real-training test skipped in -short")
+	}
+}
+
 // microScale keeps experiment tests cheap: tiny agent counts and a short
 // horizon. Shape assertions belong to the bench harness at QuickScale;
 // these tests verify plumbing, memoization, and rendering.
@@ -28,6 +37,7 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestFig4AndMemoization(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r1 := Fig4("Combo", microScale)
 	if len(r1.Runs) != 3 {
@@ -50,6 +60,7 @@ func TestFig4AndMemoization(t *testing.T) {
 }
 
 func TestFig5SharesFig4Runs(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	f4 := Fig4("Combo", microScale)
 	f5 := Fig5("Combo", microScale)
@@ -63,6 +74,7 @@ func TestFig5SharesFig4Runs(t *testing.T) {
 }
 
 func TestFig9ScalingConfigs(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Fig9(microScale)
 	if len(r.Runs) != 5 {
@@ -83,6 +95,7 @@ func TestFig9ScalingConfigs(t *testing.T) {
 }
 
 func TestFig11FidelitySweep(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Fig11(microScale)
 	if len(r.Logs) != 4 {
@@ -96,6 +109,7 @@ func TestFig11FidelitySweep(t *testing.T) {
 }
 
 func TestFig13Bands(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Fig13(microScale)
 	if len(r.Logs) != microScale.Replications {
@@ -109,6 +123,7 @@ func TestFig13Bands(t *testing.T) {
 }
 
 func TestTable1(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Table1(microScale)
 	if len(r.Rows) != 3 {
@@ -128,6 +143,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestRenderDispatch(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	// Only the cheap ids here; the bench harness covers the rest.
 	for _, id := range []string{"fig4", "fig13"} {
@@ -145,6 +161,7 @@ func TestRenderDispatch(t *testing.T) {
 }
 
 func TestAblationCacheScope(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := AblationCacheScope(microScale)
 	if len(r.Variants) != 2 {
@@ -157,6 +174,7 @@ func TestAblationCacheScope(t *testing.T) {
 }
 
 func TestFaultsExperiment(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Faults(microScale)
 	if len(r.Runs) != len(FaultLevels)*len(Strategies) {
@@ -185,6 +203,7 @@ func TestFaultsExperiment(t *testing.T) {
 }
 
 func TestRestartExperiment(t *testing.T) {
+	skipSlow(t)
 	ResetCache()
 	r := Restart(microScale)
 	if !r.Identical {
@@ -209,6 +228,29 @@ func TestRestartExperiment(t *testing.T) {
 	}
 }
 
+func TestWorkersExperiment(t *testing.T) {
+	skipSlow(t)
+	ResetCache()
+	r := Workers(microScale)
+	if !r.Identical {
+		t.Fatal("worker-pool runs did not produce bit-identical logs")
+	}
+	if len(r.Rows) < 2 || r.Rows[0].Workers != 1 || r.Rows[1].Workers != 2 {
+		t.Fatalf("rows = %+v, want Workers 1 then 2", r.Rows)
+	}
+	for i, row := range r.Rows[1:] {
+		if row.Results != r.Rows[0].Results || row.Best != r.Rows[0].Best {
+			t.Fatalf("row %d outcome diverged from serial: %+v vs %+v", i+1, row, r.Rows[0])
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"workers", "wall s", "bit-identical", "YES"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestNamesCoveredByRender(t *testing.T) {
 	// Every listed experiment id must be dispatchable (checked without
 	// executing: unknown ids error immediately, so probe with a scale
@@ -219,7 +261,7 @@ func TestNamesCoveredByRender(t *testing.T) {
 		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "fig12", "fig13", "table1",
 			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-			"ablation-evolution", "multiobjective", "faults", "restart":
+			"ablation-evolution", "multiobjective", "faults", "restart", "workers":
 		default:
 			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
 		}

@@ -154,6 +154,8 @@ func Render(id string, sc Scale) (string, error) {
 		return Faults(sc).Render(), nil
 	case "restart":
 		return Restart(sc).Render(), nil
+	case "workers":
+		return Workers(sc).Render(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(Names(), ", "))
 	}

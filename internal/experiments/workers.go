@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"nasgo/internal/analytics"
+	"nasgo/internal/report"
+	"nasgo/internal/search"
+)
+
+// WorkersRow is one run of the concurrent-evaluation experiment.
+type WorkersRow struct {
+	// Workers is the evaluator.Config.Workers setting of this run.
+	Workers int
+	// WallSeconds is the host wall-clock duration of the run — the only
+	// quantity the worker pool is allowed to change.
+	WallSeconds float64
+	// Results and Best summarize the search outcome (identical across rows
+	// when the pool preserves determinism).
+	Results int
+	Best    float64
+}
+
+// WorkersResult is the concurrent-evaluation experiment: the same A3C Combo
+// search run at several evaluator worker-pool sizes. The pool overlaps real
+// reward-estimation trainings on host cores while the virtual schedule is
+// fixed, so every run must produce byte-identical logs — only wall time may
+// differ. On a multi-core host the pooled rows show the wall-clock speedup;
+// on a single-core host the experiment degenerates to a determinism check
+// (speedup ~1x, which is the expected no-op).
+type WorkersResult struct {
+	Rows []WorkersRow
+	// Identical reports whether every run rendered byte-identical log JSON
+	// after normalizing Config.Eval.Workers (the only intended difference).
+	Identical bool
+	// Speedup is the serial (Workers=1) wall time over the fastest pooled
+	// wall time.
+	Speedup float64
+	// MaxProcs is the host's GOMAXPROCS, bounding the useful pool size.
+	MaxProcs int
+}
+
+// Workers runs the A3C Combo small-space search at Workers = 1, 2, and
+// GOMAXPROCS, timing each run on the host clock. It deliberately bypasses
+// the run memo cache: wall time is the measurement, so every row must
+// execute for real. Wall-clock timing here never feeds seeds or the virtual
+// schedule — it is pure measurement.
+func Workers(sc Scale) *WorkersResult {
+	settings := []int{1, 2}
+	if mp := runtime.GOMAXPROCS(0); mp > 2 {
+		settings = append(settings, mp)
+	}
+	out := &WorkersResult{MaxProcs: runtime.GOMAXPROCS(0), Identical: true}
+	var baseJSON []byte
+	for _, w := range settings {
+		bench := benchFor("Combo", sc.Seed)
+		sp := spaceFor(bench, "small")
+		cfg := sc.searchCfg(search.A3C, sc.BaseAgents, sc.BaseWorkers, bench.RewardTrainFrac, sc.Seed)
+		cfg.Eval.Fidelity = bench.RewardTrainFrac
+		cfg.Eval.Workers = w
+		start := time.Now()
+		log := search.Run(bench, sp, cfg)
+		wall := time.Since(start).Seconds()
+		s := analytics.Summarize(log.Results)
+		out.Rows = append(out.Rows, WorkersRow{
+			Workers: w, WallSeconds: wall, Results: len(log.Results), Best: s.BestReward,
+		})
+		normalized := *log
+		normalized.Config.Eval.Workers = 1
+		j, err := json.Marshal(&normalized)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: marshal workers log: %v", err))
+		}
+		if baseJSON == nil {
+			baseJSON = j
+		} else if !bytes.Equal(baseJSON, j) {
+			out.Identical = false
+		}
+	}
+	fastest := out.Rows[1].WallSeconds
+	for _, r := range out.Rows[2:] {
+		if r.WallSeconds < fastest {
+			fastest = r.WallSeconds
+		}
+	}
+	if fastest > 0 {
+		out.Speedup = out.Rows[0].WallSeconds / fastest
+	}
+	return out
+}
+
+// Render prints the per-setting wall times and the determinism verdict.
+func (r *WorkersResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Concurrent reward estimation — wall-clock speedup at a fixed virtual schedule (Combo small, A3C)\n")
+	serial := r.Rows[0].WallSeconds
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		speedup := "n/a"
+		if row.WallSeconds > 0 {
+			speedup = fmt.Sprintf("%.2fx", serial/row.WallSeconds)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Workers),
+			fmt.Sprintf("%.1f", row.WallSeconds),
+			speedup,
+			fmt.Sprintf("%d", row.Results),
+			fmt.Sprintf("%.4f", row.Best),
+		})
+	}
+	b.WriteString(report.Table([]string{"workers", "wall s", "speedup", "results", "best"}, rows))
+	fmt.Fprintf(&b, "host GOMAXPROCS: %d; best pooled speedup vs serial: %.2fx\n", r.MaxProcs, r.Speedup)
+	if r.Identical {
+		b.WriteString("logs bit-identical across worker counts: YES\n")
+	} else {
+		b.WriteString("logs bit-identical across worker counts: NO — pool determinism violated\n")
+	}
+	return b.String()
+}

@@ -9,6 +9,15 @@ import (
 	"nasgo/internal/space"
 )
 
+// skipSlow marks a tier-2 real-training test: skipped by `go test -short`
+// so the fast gate covers only the pure unit tests here.
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tier-2 real-training test skipped in -short")
+	}
+}
+
 func objective(t *testing.T) *Objective {
 	t.Helper()
 	bench := candle.NewCombo(candle.Config{Seed: 1})
@@ -47,6 +56,7 @@ func TestSampleWithinBounds(t *testing.T) {
 }
 
 func TestRandomSearchFindsReasonableLR(t *testing.T) {
+	skipSlow(t)
 	o := objective(t)
 	sd := SpaceDef{LRMin: 1e-5, LRMax: 0.05, BatchMin: 16, BatchMax: 32, MaxEpochs: 4}
 	res := RandomSearch(o, sd, 6, 3)
@@ -70,6 +80,7 @@ func TestRandomSearchFindsReasonableLR(t *testing.T) {
 }
 
 func TestSuccessiveHalvingBudgets(t *testing.T) {
+	skipSlow(t)
 	o := objective(t)
 	sd := SpaceDef{LRMin: 1e-4, LRMax: 0.03, BatchMin: 16, BatchMax: 32, MaxEpochs: 8}
 	res := SuccessiveHalving(o, sd, 8, 2, 4)
@@ -91,6 +102,7 @@ func TestSuccessiveHalvingBudgets(t *testing.T) {
 }
 
 func TestSuccessiveHalvingDeterministic(t *testing.T) {
+	skipSlow(t)
 	o := objective(t)
 	sd := SpaceDef{LRMin: 1e-4, LRMax: 0.03, BatchMin: 16, BatchMax: 32, MaxEpochs: 4}
 	a := SuccessiveHalving(o, sd, 4, 2, 5)

@@ -9,6 +9,16 @@ import (
 	"nasgo/internal/space"
 )
 
+// skipSlow marks a tier-2 test — post-training really trains the baseline
+// and candidate networks — so `go test -short ./...` stays a fast gate
+// (see CLAUDE.md "Test tiers").
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tier-2 real-training test skipped in -short")
+	}
+}
+
 // fakeTop builds synthetic top-k results (random valid architectures) so
 // post-training can be tested without running a search.
 func fakeTop(sp *space.Space, n int, seed uint64) []*evaluator.Result {
@@ -26,6 +36,7 @@ func fakeTop(sp *space.Space, n int, seed uint64) []*evaluator.Result {
 }
 
 func TestRunProducesRatios(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 1})
 	sp := space.NewComboSmall()
 	top := fakeTop(sp, 3, 2)
@@ -56,6 +67,7 @@ func TestRunProducesRatios(t *testing.T) {
 }
 
 func TestBaselineTimeMatchesPaper(t *testing.T) {
+	skipSlow(t)
 	// The analytic K80 time is linear in epochs, and at the paper's 20
 	// epochs it is the calibrated 705.26 s; at 2 epochs, a tenth of that.
 	bench := candle.NewCombo(candle.Config{Seed: 1})
@@ -67,6 +79,7 @@ func TestBaselineTimeMatchesPaper(t *testing.T) {
 }
 
 func TestBestAndSort(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 2})
 	sp := space.NewComboSmall()
 	rep := Run(bench, sp, fakeTop(sp, 4, 7), Config{Epochs: 2, Seed: 2})
@@ -88,6 +101,7 @@ func TestBestAndSort(t *testing.T) {
 }
 
 func TestDeterministic(t *testing.T) {
+	skipSlow(t)
 	run := func() float64 {
 		bench := candle.NewCombo(candle.Config{Seed: 3})
 		sp := space.NewComboSmall()
@@ -100,6 +114,7 @@ func TestDeterministic(t *testing.T) {
 }
 
 func TestEmptyTop(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 4})
 	sp := space.NewComboSmall()
 	rep := Run(bench, sp, nil, Config{Epochs: 2, Seed: 5})

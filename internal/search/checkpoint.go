@@ -265,9 +265,11 @@ func (r *runner) finishAllocation() (*Log, *Checkpoint, error) {
 	return ck.Partial, ck, nil
 }
 
-// capture snapshots the runner into a Checkpoint. Pure reads — no RNG
-// draws, no event scheduling — so taking a checkpoint never perturbs the
-// run.
+// capture snapshots the runner into a Checkpoint. No RNG draws, no event
+// scheduling — so taking a checkpoint never perturbs the run. Its only
+// mutation is the evaluator draining its worker pool (joining pending
+// training futures), which moves host work, never virtual-time state: the
+// captured bytes are identical at every Eval.Workers setting.
 func (r *runner) capture() *Checkpoint {
 	r.sim.Recorder().Emit(trace.Event{Cat: trace.CatCkpt, Name: trace.EvCut,
 		Node: trace.None, Agent: trace.None, Value: float64(r.allocations + 1)})

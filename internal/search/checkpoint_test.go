@@ -144,6 +144,7 @@ func TestShortResumeEquivalenceA2C(t *testing.T) {
 // TestResumeEquivalence covers the remaining strategies under the same
 // fault model.
 func TestResumeEquivalence(t *testing.T) {
+	skipSlow(t)
 	for _, c := range []struct {
 		strategy string
 		seed     uint64
@@ -157,6 +158,7 @@ func TestResumeEquivalence(t *testing.T) {
 // through in-memory checkpoints and still returns the identical log
 // (fault-free path, full-size small config).
 func TestWalltimeRunMatchesPlain(t *testing.T) {
+	skipSlow(t)
 	plain := runSmall(t, A3C, 1)
 	cfg := smallCfg(A3C, 1)
 	cfg.Walltime = 301
@@ -170,6 +172,7 @@ func TestWalltimeRunMatchesPlain(t *testing.T) {
 // the search must keep cycling rounds without poisoning any policy
 // parameter; the mid-run checkpoint makes the policy state inspectable.
 func TestNaNRewardGuard(t *testing.T) {
+	skipSlow(t)
 	cfg := smallCfg(A3C, 55)
 	cfg.Agents = 2
 	cfg.WorkersPerAgent = 2

@@ -9,6 +9,7 @@ import (
 )
 
 func TestLogJSONRoundTrip(t *testing.T) {
+	skipSlow(t)
 	log := runSmall(t, RDM, 1)
 	path := filepath.Join(t.TempDir(), "log.json")
 	if err := log.WriteJSON(path); err != nil {
@@ -50,6 +51,7 @@ func TestLogJSONRoundTrip(t *testing.T) {
 // leave a truncated JSON prefix where the next tool expects a log; the
 // staged write leaves either the old complete file or the new one.
 func TestWriteJSONCrashSafety(t *testing.T) {
+	skipSlow(t)
 	log := runSmall(t, RDM, 1)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "log.json")

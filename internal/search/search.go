@@ -60,7 +60,10 @@ type Config struct {
 	Seed     uint64
 	// RL configures the controller (defaults are the paper's).
 	RL rl.Config
-	// Eval configures reward estimation (fidelity, timeout, epochs).
+	// Eval configures reward estimation (fidelity, timeout, epochs) and the
+	// host-side concurrent-training pool (Eval.Workers). The pool is pure
+	// wall-clock speedup: logs, traces, and checkpoints are byte-identical
+	// at every Workers setting.
 	Eval evaluator.Config
 	// PSWindow is the A3C recent-gradient window (default 4).
 	PSWindow int
@@ -137,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.Walltime < 0 {
 		return fmt.Errorf("search: Walltime = %g, want > 0 virtual seconds per allocation (0 disables walltime bounding)", c.Walltime)
+	}
+	if c.Eval.Workers < 0 {
+		return fmt.Errorf("search: Eval.Workers = %d, want >= 0 concurrent trainings (0 selects GOMAXPROCS, 1 trains serially)", c.Eval.Workers)
 	}
 	return nil
 }

@@ -10,6 +10,17 @@ import (
 	"nasgo/internal/space"
 )
 
+// skipSlow marks a tier-2 test — one that trains real networks at the full
+// default RealEpochs budget — so `go test -short ./...` stays a fast gate
+// (see CLAUDE.md "Test tiers"). The TestShort* tests run in every tier:
+// they are scripts/check.sh's race-detector and determinism gate.
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tier-2 real-training test skipped in -short")
+	}
+}
+
 // smallCfg keeps test searches fast: few agents, short horizon.
 func smallCfg(strategy string, seed uint64) Config {
 	return Config{
@@ -40,6 +51,7 @@ func runSmall(t *testing.T, strategy string, seed uint64) *Log {
 }
 
 func TestStrategiesProduceResults(t *testing.T) {
+	skipSlow(t)
 	for _, strategy := range []string{A3C, A2C, RDM} {
 		log := runSmall(t, strategy, 1)
 		if len(log.Results) == 0 {
@@ -65,6 +77,7 @@ func TestStrategiesProduceResults(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 7})
 	sp := space.NewComboSmall()
 	a := Run(bench, sp, smallCfg(A3C, 7))
@@ -83,6 +96,7 @@ func TestDeterministicRuns(t *testing.T) {
 }
 
 func TestSeedsChangeTrajectory(t *testing.T) {
+	skipSlow(t)
 	a := runSmall(t, A3C, 1)
 	b := runSmall(t, A3C, 8)
 	if len(a.Results) == len(b.Results) {
@@ -100,6 +114,7 @@ func TestSeedsChangeTrajectory(t *testing.T) {
 }
 
 func TestPSStatsPopulated(t *testing.T) {
+	skipSlow(t)
 	a3c := runSmall(t, A3C, 1)
 	if a3c.PS.Exchanges == 0 {
 		t.Fatal("A3C recorded no PS exchanges")
@@ -115,6 +130,7 @@ func TestPSStatsPopulated(t *testing.T) {
 }
 
 func TestA2CLockstep(t *testing.T) {
+	skipSlow(t)
 	// In A2C every completed sync round has exactly Agents gradients, so
 	// exchanges must be an exact multiple of Agents.
 	log := runSmall(t, A2C, 1)
@@ -133,6 +149,7 @@ func TestA2CLockstep(t *testing.T) {
 }
 
 func TestTopK(t *testing.T) {
+	skipSlow(t)
 	log := runSmall(t, RDM, 1)
 	top := log.TopK(5)
 	if len(top) == 0 {
@@ -158,6 +175,7 @@ func TestTopK(t *testing.T) {
 }
 
 func TestHorizonRespected(t *testing.T) {
+	skipSlow(t)
 	log := runSmall(t, A3C, 1)
 	// No result may finish absurdly after the horizon: in-flight tasks may
 	// drain past it, but only by at most one task duration (< timeout).
@@ -183,6 +201,7 @@ func TestUnknownStrategyPanics(t *testing.T) {
 // best-so-far at equal times... kept modest here (small agent counts) and
 // verified properly by the Fig 4 bench.
 func TestA3CRewardImproves(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 3})
 	sp := space.NewComboSmall()
 	cfg := smallCfg(A3C, 3)
@@ -239,6 +258,7 @@ func tinyComboSpace() *space.Space {
 // agent keeps regenerating architectures its cache has already evaluated,
 // the search detects it and stops before the horizon.
 func TestConvergenceStop(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 21})
 	sp := tinyComboSpace()
 	cfg := Config{
@@ -266,6 +286,7 @@ func TestConvergenceStop(t *testing.T) {
 }
 
 func TestConvergenceDisabled(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewCombo(candle.Config{Seed: 22})
 	sp := tinyComboSpace()
 	cfg := Config{
@@ -283,6 +304,7 @@ func TestConvergenceDisabled(t *testing.T) {
 }
 
 func TestEvolutionStrategy(t *testing.T) {
+	skipSlow(t)
 	log := runSmall(t, EVO, 31)
 	if len(log.Results) == 0 {
 		t.Fatal("EVO produced no results")
@@ -341,6 +363,7 @@ func TestEvoProposeAndAging(t *testing.T) {
 }
 
 func TestNT3Search(t *testing.T) {
+	skipSlow(t)
 	bench := candle.NewNT3(candle.Config{Seed: 5})
 	sp := space.NewNT3Small()
 	cfg := smallCfg(A3C, 5)

@@ -163,6 +163,7 @@ func TestShortTraceViewsMatchLog(t *testing.T) {
 // must produce byte-identical logs for every strategy — recording is a
 // pure observer, and disabling it restores the pre-trace machine exactly.
 func TestDisabledTraceMatchesPlainService(t *testing.T) {
+	skipSlow(t)
 	for _, c := range []struct {
 		strategy string
 		seed     uint64

@@ -1,0 +1,241 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"nasgo/internal/rng"
+)
+
+// Differential tests: every optimized kernel against a straightforward
+// naive reference, over seeded randomized shapes that deliberately straddle
+// the parallelThreshold op count (where the row-band goroutine split kicks
+// in) and the blockK boundary (where MatMul's k-blocking wraps). GOMAXPROCS
+// is forced above 1 so the parallel bands genuinely run even on a 1-core
+// host.
+
+// forceParallel raises GOMAXPROCS for the test so parallelRows actually
+// splits work across goroutines.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// closeEnough reports near-equality: the kernels reorder float additions only
+// across k-blocks (same ascending order), so differences beyond rounding
+// noise are real bugs.
+func closeEnough(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= 1e-9*scale
+}
+
+func compareTensors(t *testing.T, what string, got, want *Tensor) {
+	t.Helper()
+	if fmt.Sprint(got.Shape) != fmt.Sprint(want.Shape) {
+		t.Fatalf("%s: shape %v, want %v", what, got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if !closeEnough(got.Data[i], want.Data[i]) {
+			t.Fatalf("%s: element %d = %g, reference %g", what, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for x := 0; x < k; x++ {
+				s += a.Data[i*k+x] * b.Data[x*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func naiveMatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for x := 0; x < k; x++ {
+				s += a.Data[x*m+i] * b.Data[x*n+j]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func naiveMatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for x := 0; x < k; x++ {
+				s += a.Data[i*k+x] * b.Data[j*k+x]
+			}
+			out.Data[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func naiveConv1D(x, w, b *Tensor, stride int) *Tensor {
+	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kernel, _, cout := w.Shape[0], w.Shape[1], w.Shape[2]
+	outLen := (length-kernel)/stride + 1
+	out := New(batch, outLen, cout)
+	for n := 0; n < batch; n++ {
+		for t := 0; t < outLen; t++ {
+			for o := 0; o < cout; o++ {
+				var s float64
+				if b != nil {
+					s = b.Data[o]
+				}
+				for k := 0; k < kernel; k++ {
+					for c := 0; c < cin; c++ {
+						s += x.At(n, t*stride+k, c) * w.At(k, c, o)
+					}
+				}
+				out.Set(s, n, t, o)
+			}
+		}
+	}
+	return out
+}
+
+func naiveConv1DBackward(x, w, dout *Tensor, stride int) (dx, dw, db *Tensor) {
+	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
+	kernel, _, cout := w.Shape[0], w.Shape[1], w.Shape[2]
+	outLen := dout.Shape[1]
+	dx = New(batch, length, cin)
+	dw = New(kernel, cin, cout)
+	db = New(cout)
+	for n := 0; n < batch; n++ {
+		for t := 0; t < outLen; t++ {
+			for o := 0; o < cout; o++ {
+				g := dout.At(n, t, o)
+				db.Data[o] += g
+				for k := 0; k < kernel; k++ {
+					for c := 0; c < cin; c++ {
+						dw.Set(dw.At(k, c, o)+x.At(n, t*stride+k, c)*g, k, c, o)
+						dx.Set(dx.At(n, t*stride+k, c)+w.At(k, c, o)*g, n, t*stride+k, c)
+					}
+				}
+			}
+		}
+	}
+	return dx, dw, db
+}
+
+// matmulShapes are (m, k, n) triples chosen to straddle the boundaries:
+// m·k·n around parallelThreshold = 1<<16, k around blockK = 128, plus the
+// m = 1 fast path and tiny serial products.
+func matmulShapes(r *rng.Rand) [][3]int {
+	shapes := [][3]int{
+		{3, 4, 5},       // tiny, serial
+		{1, 512, 200},   // m=1 fast path, large k
+		{16, 128, 32},   // m·k·n = 1<<16 exactly: first parallel product
+		{16, 128, 31},   // one column short of the threshold: serial
+		{16, 127, 33},   // k one short of a full block
+		{16, 129, 33},   // k one past a full block
+		{40, 256, 24},   // k = 2 full blocks
+		{200, 100, 100}, // well above the threshold, many bands
+	}
+	for i := 0; i < 4; i++ {
+		shapes = append(shapes, [3]int{1 + r.Intn(64), 1 + r.Intn(300), 1 + r.Intn(64)})
+	}
+	return shapes
+}
+
+func TestMatMulDifferential(t *testing.T) {
+	forceParallel(t)
+	r := rng.New(101)
+	for _, s := range matmulShapes(r) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randTensor(r, m, k), randTensor(r, k, n)
+		compareTensors(t, fmt.Sprintf("MatMul %v", s), MatMul(a, b), naiveMatMul(a, b))
+	}
+}
+
+func TestMatMulTransADifferential(t *testing.T) {
+	forceParallel(t)
+	r := rng.New(102)
+	for _, s := range matmulShapes(r) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randTensor(r, k, m), randTensor(r, k, n)
+		compareTensors(t, fmt.Sprintf("MatMulTransA %v", s), MatMulTransA(a, b), naiveMatMulTransA(a, b))
+	}
+}
+
+func TestMatMulTransBDifferential(t *testing.T) {
+	forceParallel(t)
+	r := rng.New(103)
+	for _, s := range matmulShapes(r) {
+		m, k, n := s[0], s[1], s[2]
+		a, b := randTensor(r, m, k), randTensor(r, n, k)
+		compareTensors(t, fmt.Sprintf("MatMulTransB %v", s), MatMulTransB(a, b), naiveMatMulTransB(a, b))
+	}
+}
+
+// convShapes are (batch, length, cin, kernel, cout, stride) tuples; the
+// larger ones push batch·outLen·cout·kernel·cin past parallelThreshold so
+// the batch-band split engages.
+func convShapes(r *rng.Rand) [][6]int {
+	shapes := [][6]int{
+		{1, 8, 2, 3, 4, 1},    // tiny, serial
+		{2, 9, 3, 9, 5, 1},    // kernel == length: outLen 1
+		{3, 30, 4, 5, 8, 3},   // stride > 1
+		{4, 40, 8, 5, 16, 1},  // 92k ops: parallel over batch
+		{8, 64, 6, 7, 12, 2},  // parallel, strided
+		{16, 33, 5, 4, 10, 1}, // parallel, odd dims
+	}
+	for i := 0; i < 3; i++ {
+		kernel := 1 + r.Intn(6)
+		shapes = append(shapes, [6]int{1 + r.Intn(6), kernel + r.Intn(40), 1 + r.Intn(6),
+			kernel, 1 + r.Intn(12), 1 + r.Intn(3)})
+	}
+	return shapes
+}
+
+func TestConv1DDifferential(t *testing.T) {
+	forceParallel(t)
+	r := rng.New(104)
+	for _, s := range convShapes(r) {
+		batch, length, cin, kernel, cout, stride := s[0], s[1], s[2], s[3], s[4], s[5]
+		x := randTensor(r, batch, length, cin)
+		w := randTensor(r, kernel, cin, cout)
+		b := randTensor(r, cout)
+		what := fmt.Sprintf("Conv1D %v", s)
+		compareTensors(t, what, Conv1D(x, w, b, stride), naiveConv1D(x, w, b, stride))
+		compareTensors(t, what+" nil bias", Conv1D(x, w, nil, stride), naiveConv1D(x, w, nil, stride))
+	}
+}
+
+func TestConv1DBackwardDifferential(t *testing.T) {
+	forceParallel(t)
+	r := rng.New(105)
+	for _, s := range convShapes(r) {
+		batch, length, cin, kernel, cout, stride := s[0], s[1], s[2], s[3], s[4], s[5]
+		x := randTensor(r, batch, length, cin)
+		w := randTensor(r, kernel, cin, cout)
+		outLen := (length-kernel)/stride + 1
+		dout := randTensor(r, batch, outLen, cout)
+		dx, dw, db := Conv1DBackward(x, w, dout, stride)
+		ndx, ndw, ndb := naiveConv1DBackward(x, w, dout, stride)
+		what := fmt.Sprintf("Conv1DBackward %v", s)
+		compareTensors(t, what+" dx", dx, ndx)
+		compareTensors(t, what+" dw", dw, ndw)
+		compareTensors(t, what+" db", db, ndb)
+	}
+}

@@ -54,6 +54,14 @@ const (
 	// events a chained run records that an uninterrupted run does not;
 	// WithoutCat(events, CatCkpt) strips them before trace comparison.
 	CatCkpt = "ckpt"
+	// CatPool is the evaluator's concurrent-training worker pool: future
+	// launches, virtual-time joins, and checkpoint drains. Pool events
+	// describe HOST execution (their Dur fields are wall-clock seconds, the
+	// only category where that is true), so their count, order, and values
+	// are scheduler-dependent; WithoutCat(events, CatPool) strips them
+	// before trace comparison, exactly like CatCkpt. With Workers <= 1 the
+	// pool is disabled and no CatPool events are ever emitted.
+	CatPool = "pool"
 )
 
 // Event names (the taxonomy; see DESIGN.md §9).
@@ -97,6 +105,15 @@ const (
 	// Checkpoint marks (CatCkpt).
 	EvCut    = "cut"
 	EvResume = "resume"
+
+	// Worker-pool lifecycle (CatPool). EvPoolLaunch: a real training left
+	// for the host pool (Value = busy slots at launch). EvPoolJoin: a
+	// virtual-time event blocked on its future (Detail "ready" or "wait",
+	// Dur = wall seconds blocked). EvPoolDrain: a checkpoint cut resolved
+	// pending futures (Value = how many).
+	EvPoolLaunch = "pool.launch"
+	EvPoolJoin   = "pool.join"
+	EvPoolDrain  = "pool.drain"
 )
 
 // Event kinds, selecting the Chrome trace_event phase on export.
@@ -253,8 +270,10 @@ func Filter(events []Event, keep func(Event) bool) []Event {
 }
 
 // WithoutCat drops every event of the given category — most usefully
-// CatCkpt, the only category whose events differ between an uninterrupted
-// run and the same run chained across checkpoint/resume boundaries.
+// CatCkpt (the only category whose events differ between an uninterrupted
+// run and the same run chained across checkpoint/resume boundaries) and
+// CatPool (the only category describing host rather than virtual
+// execution, so the only one that varies with evaluator.Config.Workers).
 func WithoutCat(events []Event, cat string) []Event {
 	return Filter(events, func(ev Event) bool { return ev.Cat != cat })
 }

@@ -9,6 +9,15 @@ import (
 	"nasgo/internal/rng"
 )
 
+// skipSlow marks a tier-2 real-training test: skipped by `go test -short`
+// so the fast gate covers only the pure unit tests here.
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tier-2 real-training test skipped in -short")
+	}
+}
+
 // tinyComboModel builds a small multi-input regression net for the scaled
 // Combo problem.
 func tinyComboModel(r *rng.Rand, dims []int, hidden int) *nn.Model {
@@ -25,6 +34,7 @@ func tinyComboModel(r *rng.Rand, dims []int, hidden int) *nn.Model {
 }
 
 func TestFitImprovesR2OnCombo(t *testing.T) {
+	skipSlow(t)
 	trainDS, valDS := data.GenCombo(data.ComboConfig{Seed: 1, NTrain: 800, NVal: 200, CellDim: 20, DrugDim: 30})
 	r := rng.New(2)
 	m := tinyComboModel(r, trainDS.InputDims(), 32)
@@ -50,6 +60,7 @@ func TestFitImprovesR2OnCombo(t *testing.T) {
 }
 
 func TestFitClassificationNT3(t *testing.T) {
+	skipSlow(t)
 	trainDS, valDS := data.GenNT3(data.NT3Config{Seed: 3, NTrain: 200, NVal: 60, InputDim: 120})
 	r := rng.New(4)
 	b := nn.NewModelBuilder()
@@ -71,6 +82,7 @@ func TestFitClassificationNT3(t *testing.T) {
 }
 
 func TestFitBatchBudgetStops(t *testing.T) {
+	skipSlow(t)
 	trainDS, _ := data.GenCombo(data.ComboConfig{Seed: 5, NTrain: 256, NVal: 32, CellDim: 10, DrugDim: 10})
 	r := rng.New(6)
 	m := tinyComboModel(r, trainDS.InputDims(), 8)
@@ -84,6 +96,7 @@ func TestFitBatchBudgetStops(t *testing.T) {
 }
 
 func TestFitDeterministic(t *testing.T) {
+	skipSlow(t)
 	run := func() float64 {
 		trainDS, valDS := data.GenCombo(data.ComboConfig{Seed: 7, NTrain: 128, NVal: 32, CellDim: 8, DrugDim: 8})
 		r := rng.New(8)
@@ -97,6 +110,7 @@ func TestFitDeterministic(t *testing.T) {
 }
 
 func TestFitCustomOptimizer(t *testing.T) {
+	skipSlow(t)
 	trainDS, _ := data.GenCombo(data.ComboConfig{Seed: 9, NTrain: 64, NVal: 16, CellDim: 6, DrugDim: 6})
 	r := rng.New(10)
 	m := tinyComboModel(r, trainDS.InputDims(), 4)

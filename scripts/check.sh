@@ -1,8 +1,10 @@
 #!/bin/sh
-# Fast CI gate: formatting, vet, then the pure-simulation packages (no
-# neural-net training) under the race detector. The search package only
-# runs its TestShort* fault/replay/resume tests — the full search suite
-# trains real networks and belongs to `go test ./...`.
+# Fast CI gate: formatting, vet, the tier-1 `-short` suite (tier-2
+# real-training tests skip themselves; see CLAUDE.md for the tier split),
+# then the pure-simulation packages plus the evaluator's worker pool under
+# the race detector. The search package only runs its TestShort*
+# fault/replay/resume/worker-pool tests — the full search suite trains real
+# networks and belongs to `go test ./...`.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,20 +16,29 @@ if [ -n "$unformatted" ]; then
 fi
 
 go vet ./...
+go test -short ./...
 go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/ \
     ./internal/ckpt/ ./internal/ps/ ./internal/optim/ ./internal/trace/ ./internal/analytics/
-go test -race -run TestShort ./internal/search/
+# The evaluator trains real (scaled) networks, but its suite is small enough
+# to race-check whole — this is the only gate exercising Workers > 1
+# evaluator concurrency under the race detector.
+go test -race ./internal/evaluator/
+# The worker-pool determinism tests run ~11 full searches; under ~15x race
+# overhead on a 1-core box this line alone runs ~10 min, so raise go test's
+# default 10-minute package timeout.
+go test -race -timeout 30m -run TestShort ./internal/search/
 
-# Coverage gate on the persistence-critical parsers: the trace codec and the
-# checkpoint container must stay thoroughly tested — a regression here can
-# silently corrupt recorded runs or checkpoint chains.
+# Coverage gate on the persistence- and concurrency-critical packages: the
+# trace codec, the checkpoint container, and the evaluator (cache + worker
+# pool) must stay thoroughly tested — a regression here can silently corrupt
+# recorded runs, checkpoint chains, or reward determinism.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
-go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ >/dev/null
+go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/evaluator/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+evaluator coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt coverage ${total}%"
+echo "check.sh: trace+ckpt+evaluator coverage ${total}%"
 echo "check.sh: OK"
