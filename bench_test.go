@@ -14,14 +14,22 @@
 package nasgo
 
 import (
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"nasgo/internal/analytics"
+	"nasgo/internal/data"
 	"nasgo/internal/experiments"
+	"nasgo/internal/nn"
+	"nasgo/internal/optim"
+	"nasgo/internal/rng"
 	"nasgo/internal/search"
+	"nasgo/internal/tensor"
 )
 
 // benchScale is the resource preset for the bench campaign. Override the
@@ -372,4 +380,118 @@ func BenchmarkTrajectoryAnalysis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = analytics.Trajectory(log.Results, 300, log.EndTime)
 	}
+}
+
+// --- Kernel fusion + workspace arena: training hot-path allocations ---
+
+// kernelStepResult holds the manual per-op measurements of kernelStepBench.
+// (testing.Benchmark cannot be nested inside a -bench run — both take the
+// package-global benchmark lock — so the loop is timed by hand.)
+type kernelStepResult struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// kernelStepBench measures one steady-state Combo-scaled train step (candle
+// input dimensions, reward-estimation batch size 16) in the two memory
+// regimes the zero-allocation tentpole compares: allocate-per-batch (the
+// pre-arena machine, Gather + heap tensors) and arena (GatherInto + pooled
+// workspace). Both regimes run the identical float sequence — the arena
+// determinism tests pin that — so the delta is pure allocator traffic.
+func kernelStepBench(useArena bool) kernelStepResult {
+	trainDS, _ := data.GenCombo(data.ComboConfig{Seed: 31, NTrain: 128, NVal: 16})
+	r := rng.New(32)
+	m := benchComboModel(r, trainDS.InputDims(), 32)
+	opt := optim.NewAdam(0.005)
+	var ar *tensor.Arena
+	if useArena {
+		ar = tensor.NewArena()
+		m.SetArena(ar)
+	}
+	const batchSize = 16
+	idx := make([]int, batchSize)
+	var batch *data.Dataset
+	step := func(seed int) {
+		for i := range idx {
+			idx[i] = (seed + i*7) % trainDS.N()
+		}
+		if useArena {
+			batch = trainDS.GatherInto(batch, idx)
+		} else {
+			batch = trainDS.Gather(idx)
+		}
+		m.ZeroGrad()
+		out := m.Forward(batch.Inputs, true)
+		_, grad := nn.MSELossArena(ar, out, batch.YReg)
+		m.Backward(grad)
+		opt.Step(m.Params())
+		ar.Reset()
+	}
+	step(0) // warm the arena, batch buffer, and Adam state
+	const iters = 2000
+	var before, afterStats runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		step(i + 1)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&afterStats)
+	return kernelStepResult{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / iters,
+		BytesPerOp:  float64(afterStats.TotalAlloc-before.TotalAlloc) / iters,
+		AllocsPerOp: float64(afterStats.Mallocs-before.Mallocs) / iters,
+	}
+}
+
+// benchComboModel mirrors the miniature multi-input Combo regression net the
+// train package tests use, at the same hidden width.
+func benchComboModel(r *rng.Rand, dims []int, hidden int) *nn.Model {
+	mb := nn.NewModelBuilder()
+	var heads []int
+	for _, d := range dims {
+		in := mb.Input()
+		heads = append(heads, mb.Layer(in, nn.NewDense(r, d, hidden, nn.ActReLU)))
+	}
+	cat := mb.Concat(heads...)
+	h := mb.Layer(cat, nn.NewDense(r, hidden*len(dims), hidden, nn.ActReLU))
+	out := mb.Layer(h, nn.NewDense(r, hidden, 1, nn.ActLinear))
+	return mb.Build(out)
+}
+
+func BenchmarkKernels_TrainStep(b *testing.B) {
+	before := kernelStepBench(false)
+	after := kernelStepBench(true)
+	pct := func(was, now float64) float64 {
+		if was == 0 {
+			return 0
+		}
+		return 100 * (was - now) / was
+	}
+	text := fmt.Sprintf(`Kernel fusion + workspace arena: Combo-scaled train step
+(batch 16, candle input dims 60/120/120, hidden 32; GOMAXPROCS=%d)
+
+regime                      ns/op        B/op   allocs/op
+allocate-per-batch    %11.0f  %10.0f  %10.1f
+arena                 %11.0f  %10.0f  %10.1f
+reduction              %9.1f%%  %9.1f%%  %9.1f%%
+`,
+		runtime.GOMAXPROCS(0),
+		before.NsPerOp, before.BytesPerOp, before.AllocsPerOp,
+		after.NsPerOp, after.BytesPerOp, after.AllocsPerOp,
+		pct(before.NsPerOp, after.NsPerOp),
+		pct(before.BytesPerOp, after.BytesPerOp),
+		pct(before.AllocsPerOp, after.AllocsPerOp))
+	writeResult(b, "kernels", text)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pct(before.NsPerOp, after.NsPerOp)
+	}
+	b.ReportMetric(after.NsPerOp, "arena_ns_op")
+	b.ReportMetric(after.AllocsPerOp, "arena_allocs_op")
+	b.ReportMetric(pct(before.NsPerOp, after.NsPerOp), "ns_reduction_pct")
+	b.ReportMetric(pct(before.BytesPerOp, after.BytesPerOp), "bytes_reduction_pct")
+	b.ReportMetric(pct(before.AllocsPerOp, after.AllocsPerOp), "allocs_reduction_pct")
 }

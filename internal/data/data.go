@@ -63,21 +63,52 @@ func (d *Dataset) IsClassification() bool { return d.YCls != nil }
 
 // Gather returns the sub-dataset at the given row indices.
 func (d *Dataset) Gather(idx []int) *Dataset {
-	out := &Dataset{InputNames: d.InputNames, NumClasses: d.NumClasses}
-	out.Inputs = make([]*tensor.Tensor, len(d.Inputs))
+	return d.GatherInto(nil, idx)
+}
+
+// GatherInto writes the sub-dataset at the given row indices into dst and
+// returns it (a fresh Dataset when dst is nil). Buffers already in dst are
+// reused when their shapes match — the steady-state case when a training
+// loop gathers every batch of an epoch into the same destination — and
+// reallocated otherwise, so the rows dst previously held are overwritten.
+func (d *Dataset) GatherInto(dst *Dataset, idx []int) *Dataset {
+	if dst == nil {
+		dst = &Dataset{}
+	}
+	dst.InputNames = d.InputNames
+	dst.NumClasses = d.NumClasses
+	n := len(idx)
+	if len(dst.Inputs) != len(d.Inputs) {
+		dst.Inputs = make([]*tensor.Tensor, len(d.Inputs))
+	}
 	for i, in := range d.Inputs {
-		out.Inputs[i] = tensor.GatherRows(in, idx)
+		t := dst.Inputs[i]
+		if t == nil || t.Rank() != 2 || t.Shape[0] != n || t.Shape[1] != in.Shape[1] {
+			t = tensor.New(n, in.Shape[1])
+			dst.Inputs[i] = t
+		}
+		tensor.GatherRowsInto(t, in, idx)
 	}
 	if d.YReg != nil {
-		out.YReg = tensor.GatherRows(d.YReg, idx)
+		if dst.YReg == nil || dst.YReg.Shape[0] != n || dst.YReg.Shape[1] != d.YReg.Shape[1] {
+			dst.YReg = tensor.New(n, d.YReg.Shape[1])
+		}
+		tensor.GatherRowsInto(dst.YReg, d.YReg, idx)
+	} else {
+		dst.YReg = nil
 	}
 	if d.YCls != nil {
-		out.YCls = make([]int, len(idx))
-		for i, r := range idx {
-			out.YCls[i] = d.YCls[r]
+		if cap(dst.YCls) < n {
+			dst.YCls = make([]int, n)
 		}
+		dst.YCls = dst.YCls[:n]
+		for i, r := range idx {
+			dst.YCls[i] = d.YCls[r]
+		}
+	} else {
+		dst.YCls = nil
 	}
-	return out
+	return dst
 }
 
 // Slice returns rows [lo, hi).

@@ -126,6 +126,11 @@ type Config struct {
 	// 1 (or a 1-core host) disables the pool and trains inline, the exact
 	// pre-pool serial machine.
 	Workers int
+	// NoArena disables the workspace-arena/buffer-reuse fast path of
+	// train.Fit and train.Evaluate during reward estimation. Rewards are
+	// bitwise identical either way; the flag is a diagnostic for the arena
+	// differential tests and benchmarks.
+	NoArena bool
 	// Seed drives per-task weight initialization and subsampling.
 	Seed uint64
 }
@@ -447,7 +452,11 @@ func (e *Evaluator) trainReal(taskRand *rng.Rand, ir *space.ArchIR, plan hpc.Rew
 			MaxBatches: maxBatches,
 			Optimizer:  optim.NewAdam(e.Cfg.RealLR),
 			Rand:       taskRand.Split(),
+			NoArena:    e.Cfg.NoArena,
 		})
+	}
+	if e.Cfg.NoArena {
+		return train.EvaluateNoArena(model, e.Bench.Val)
 	}
 	return train.Evaluate(model, e.Bench.Val)
 }

@@ -129,6 +129,7 @@ func SuccessiveHalving(o *Objective, sd SpaceDef, n int, eta float64, seed uint6
 	}
 	res := &Result{Best: Trial{Metric: math.Inf(-1)}}
 	for round, budget := range budgets {
+		final := round == len(budgets)-1
 		trials := make([]Trial, 0, len(configs))
 		for _, p := range configs {
 			p.Epochs = budget
@@ -137,11 +138,16 @@ func SuccessiveHalving(o *Objective, sd SpaceDef, n int, eta float64, seed uint6
 			t := Trial{Params: p, Metric: m}
 			trials = append(trials, t)
 			res.Trials = append(res.Trials, t)
-			if m > res.Best.Metric {
+			// Best is chosen among full-budget trials only. Metrics from
+			// different budgets are not comparable — a noisy low-epoch score
+			// can exceed every converged full-budget score, and promoting it
+			// would return a config that was never trained to completion.
+			// Low-budget rounds exist to pick survivors, nothing more.
+			if final && m > res.Best.Metric {
 				res.Best = t
 			}
 		}
-		if round == len(budgets)-1 {
+		if final {
 			break
 		}
 		sort.Slice(trials, func(i, j int) bool { return trials[i].Metric > trials[j].Metric })

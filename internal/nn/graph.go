@@ -28,6 +28,10 @@ type node struct {
 	out    *tensor.Tensor
 	widths []int // concat: column widths of each input
 	inW    []int // add: original widths before zero-padding
+
+	// reusable scratch (valid for one forward/backward pair)
+	ts    []*tensor.Tensor // concat forward: gathered input tensors
+	parts []*tensor.Tensor // concat backward: per-input gradient blocks
 }
 
 // ModelBuilder incrementally constructs a computation DAG. Node ids are
@@ -122,6 +126,15 @@ type Model struct {
 	numInputs int
 	output    int
 	params    *ParamSet
+
+	// arena, when set via SetArena, supplies every per-pass buffer of
+	// Forward/Backward. The model does not Reset it; the training loop owns
+	// the recycle point (after the optimizer step consumed the gradients).
+	arena *tensor.Arena
+
+	// reusable backward scratch
+	grads      []*tensor.Tensor
+	inputGrads []*tensor.Tensor
 }
 
 // NumInputs returns the number of input placeholders.
@@ -137,38 +150,54 @@ func (m *Model) ParamCount() int { return m.params.Count() }
 // ZeroGrad clears all parameter gradients.
 func (m *Model) ZeroGrad() { m.params.ZeroGrad() }
 
+// SetArena attaches (or with nil, detaches) a workspace arena. The caller
+// keeps ownership: it must Reset the arena between batches and must not
+// share it with any other goroutine. Tensors returned by Forward/Backward
+// live in the arena while one is attached, so they are only valid until the
+// next Reset.
+func (m *Model) SetArena(ar *tensor.Arena) { m.arena = ar }
+
+// Arena returns the attached workspace arena, or nil.
+func (m *Model) Arena() *tensor.Arena { return m.arena }
+
 // Forward runs the DAG on the given inputs (one tensor per declared Input,
 // batch rows aligned) and returns the output node's tensor.
 func (m *Model) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 	if len(xs) != m.numInputs {
 		panic(fmt.Sprintf("nn: model has %d inputs, got %d", m.numInputs, len(xs)))
 	}
+	ar := m.arena
 	for _, n := range m.nodes {
 		switch n.kind {
 		case kindInput:
 			n.out = xs[n.inputIndex]
 		case kindLayer:
-			n.out = n.layer.Forward(m.nodes[n.inputs[0]].out, train)
+			n.out = n.layer.Forward(m.nodes[n.inputs[0]].out, train, ar)
 		case kindConcat:
-			ts := make([]*tensor.Tensor, len(n.inputs))
-			n.widths = make([]int, len(n.inputs))
-			for i, in := range n.inputs {
-				ts[i] = m.nodes[in].out
-				n.widths[i] = ts[i].Shape[1]
+			n.ts = n.ts[:0]
+			n.widths = n.widths[:0]
+			total := 0
+			for _, in := range n.inputs {
+				t := m.nodes[in].out
+				n.ts = append(n.ts, t)
+				n.widths = append(n.widths, t.Shape[1])
+				total += t.Shape[1]
 			}
-			n.out = tensor.ConcatCols(ts...)
+			out := ar.Get(n.ts[0].Shape[0], total)
+			tensor.ConcatColsInto(out, n.ts...)
+			n.out = out
 		case kindAdd:
 			maxW := 0
-			n.inW = make([]int, len(n.inputs))
-			for i, in := range n.inputs {
+			n.inW = n.inW[:0]
+			for _, in := range n.inputs {
 				w := m.nodes[in].out.Shape[1]
-				n.inW[i] = w
+				n.inW = append(n.inW, w)
 				if w > maxW {
 					maxW = w
 				}
 			}
 			rows := m.nodes[n.inputs[0]].out.Shape[0]
-			sum := tensor.New(rows, maxW)
+			sum := ar.Get(rows, maxW) // zeroed, like tensor.New
 			for _, in := range n.inputs {
 				src := m.nodes[in].out
 				w := src.Shape[1]
@@ -188,14 +217,34 @@ func (m *Model) Forward(xs []*tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward propagates dout (gradient at the output node) through the DAG,
 // accumulating parameter gradients. It returns per-input gradients in input
-// order. Forward must have been called first.
+// order; the returned slice is reused by the next Backward call, so callers
+// that keep gradients across steps must copy them. Forward must have been
+// called first.
 func (m *Model) Backward(dout *tensor.Tensor) []*tensor.Tensor {
-	grads := make([]*tensor.Tensor, len(m.nodes))
+	ar := m.arena
+	if cap(m.grads) < len(m.nodes) {
+		m.grads = make([]*tensor.Tensor, len(m.nodes))
+	}
+	grads := m.grads[:len(m.nodes)]
+	for i := range grads {
+		grads[i] = nil
+	}
 	grads[m.output] = dout
-	inputGrads := make([]*tensor.Tensor, m.numInputs)
+	if cap(m.inputGrads) < m.numInputs {
+		m.inputGrads = make([]*tensor.Tensor, m.numInputs)
+	}
+	inputGrads := m.inputGrads[:m.numInputs]
+	for i := range inputGrads {
+		inputGrads[i] = nil
+	}
+	// accumulate copies on first write (g may alias an upstream gradient that
+	// other fan-in edges will AddInPlace into) and adds on later writes —
+	// value-identical to the historical Clone-based path.
 	accumulate := func(id int, g *tensor.Tensor) {
 		if grads[id] == nil {
-			grads[id] = g.Clone()
+			c := ar.Get(g.Shape...)
+			copy(c.Data, g.Data)
+			grads[id] = c
 		} else {
 			tensor.AddInPlace(grads[id], g)
 		}
@@ -210,18 +259,26 @@ func (m *Model) Backward(dout *tensor.Tensor) []*tensor.Tensor {
 		case kindInput:
 			inputGrads[n.inputIndex] = g
 		case kindLayer:
-			accumulate(n.inputs[0], n.layer.Backward(g))
+			accumulate(n.inputs[0], n.layer.Backward(g, ar))
 		case kindConcat:
-			parts := tensor.SplitCols(g, n.widths)
+			if cap(n.parts) < len(n.inputs) {
+				n.parts = make([]*tensor.Tensor, len(n.inputs))
+			}
+			n.parts = n.parts[:len(n.inputs)]
+			rows := g.Shape[0]
+			for j, w := range n.widths {
+				n.parts[j] = ar.Get(rows, w)
+			}
+			tensor.SplitColsInto(n.parts, g, n.widths)
 			for j, in := range n.inputs {
-				accumulate(in, parts[j])
+				accumulate(in, n.parts[j])
 			}
 		case kindAdd:
 			rows := g.Shape[0]
 			maxW := g.Shape[1]
 			for j, in := range n.inputs {
 				w := n.inW[j]
-				part := tensor.New(rows, w)
+				part := ar.Get(rows, w)
 				for r := 0; r < rows; r++ {
 					copy(part.Data[r*w:(r+1)*w], g.Data[r*maxW:r*maxW+w])
 				}

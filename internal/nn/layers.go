@@ -2,7 +2,6 @@ package nn
 
 import (
 	"fmt"
-	"math"
 
 	"nasgo/internal/rng"
 	"nasgo/internal/tensor"
@@ -13,14 +12,20 @@ import (
 // one in-flight (forward, backward) pair at a time, which matches how the
 // evaluator trains one model per task. Backward returns the gradient with
 // respect to the layer input and accumulates parameter gradients.
+//
+// The arena parameter is an optional workspace: layers acquire their output
+// and temporary buffers from it instead of the heap, and the owner recycles
+// them with Arena.Reset once the (forward, backward) pair is done. A nil
+// arena means plain heap allocation. Either way the float operations are
+// identical in value and order — the arena only changes where buffers live.
 type Layer interface {
 	// Name returns a short human-readable identifier, e.g. "Dense(100, relu)".
 	Name() string
 	// Forward applies the layer. train enables training-only behaviour
 	// such as dropout masking.
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor
 	// Backward propagates the output gradient to the input gradient.
-	Backward(dout *tensor.Tensor) *tensor.Tensor
+	Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor
 	// Params returns the layer's trainable parameters (possibly shared
 	// with other layers). Stateless layers return nil.
 	Params() []*Param
@@ -34,52 +39,18 @@ const (
 	ActSigmoid = "sigmoid"
 )
 
-func applyActivation(kind string, z *tensor.Tensor) *tensor.Tensor {
+// actOf maps a search-space activation name to the fused tensor kernel
+// selector.
+func actOf(kind string) tensor.Act {
 	switch kind {
 	case ActLinear, "":
-		return z
+		return tensor.ActIdentity
 	case ActReLU:
-		return tensor.Apply(z, func(v float64) float64 {
-			if v > 0 {
-				return v
-			}
-			return 0
-		})
+		return tensor.ActReLU
 	case ActTanh:
-		return tensor.Apply(z, math.Tanh)
+		return tensor.ActTanh
 	case ActSigmoid:
-		return tensor.Apply(z, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	default:
-		panic(fmt.Sprintf("nn: unknown activation %q", kind))
-	}
-}
-
-// activationGrad returns dL/dz given dL/da where a = act(z); a is the cached
-// post-activation output.
-func activationGrad(kind string, a, dout *tensor.Tensor) *tensor.Tensor {
-	switch kind {
-	case ActLinear, "":
-		return dout
-	case ActReLU:
-		out := tensor.New(dout.Shape...)
-		for i := range dout.Data {
-			if a.Data[i] > 0 {
-				out.Data[i] = dout.Data[i]
-			}
-		}
-		return out
-	case ActTanh:
-		out := tensor.New(dout.Shape...)
-		for i := range dout.Data {
-			out.Data[i] = dout.Data[i] * (1 - a.Data[i]*a.Data[i])
-		}
-		return out
-	case ActSigmoid:
-		out := tensor.New(dout.Shape...)
-		for i := range dout.Data {
-			out.Data[i] = dout.Data[i] * a.Data[i] * (1 - a.Data[i])
-		}
-		return out
+		return tensor.ActSigmoid
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %q", kind))
 	}
@@ -112,21 +83,36 @@ func (d *Dense) Name() string {
 	return fmt.Sprintf("Dense(%d, %s)", d.W.Value.Shape[1], d.Activation)
 }
 
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dense) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
 	if x.Rank() != 2 || x.Shape[1] != d.W.Value.Shape[0] {
 		panic(fmt.Sprintf("nn: Dense input %v, weights %v", x.Shape, d.W.Value.Shape))
 	}
+	act := actOf(d.Activation)
 	d.x = x
-	z := tensor.AddRowVector(tensor.MatMul(x, d.W.Value), d.B.Value)
-	d.out = applyActivation(d.Activation, z)
-	return d.out
+	out := ar.Get(x.Shape[0], d.W.Value.Shape[1])
+	tensor.DenseForwardInto(out, x, d.W.Value, d.B.Value, act)
+	d.out = out
+	return out
 }
 
-func (d *Dense) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dz := activationGrad(d.Activation, d.out, dout)
-	tensor.AddInPlace(d.W.Grad, tensor.MatMulTransA(d.x, dz))
-	tensor.AddInPlace(d.B.Grad, tensor.ColSums(dz))
-	return tensor.MatMulTransB(dz, d.W.Value)
+func (d *Dense) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	act := actOf(d.Activation)
+	dz := dout
+	if act != tensor.ActIdentity {
+		dz = ar.Get(dout.Shape...)
+		tensor.ActivationBackwardInto(dz, act, d.out, dout)
+	}
+	// Parameter gradients go through arena temporaries and AddInPlace so the
+	// accumulation order into Grad matches the historical allocating path.
+	dw := ar.Get(d.W.Value.Shape...)
+	tensor.MatMulTransAInto(dw, d.x, dz)
+	tensor.AddInPlace(d.W.Grad, dw)
+	db := ar.Get(d.B.Value.Shape...)
+	tensor.ColSumsInto(db, dz)
+	tensor.AddInPlace(d.B.Grad, db)
+	dx := ar.Get(dout.Shape[0], d.W.Value.Shape[0])
+	tensor.MatMulTransBInto(dx, dz, d.W.Value)
+	return dx
 }
 
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
@@ -135,10 +121,12 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // every variable node carries.
 type Identity struct{}
 
-func (Identity) Name() string                                        { return "Identity" }
-func (Identity) Forward(x *tensor.Tensor, train bool) *tensor.Tensor { return x }
-func (Identity) Backward(dout *tensor.Tensor) *tensor.Tensor         { return dout }
-func (Identity) Params() []*Param                                    { return nil }
+func (Identity) Name() string { return "Identity" }
+func (Identity) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
+	return x
+}
+func (Identity) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor { return dout }
+func (Identity) Params() []*Param                                              { return nil }
 
 // Activate applies a standalone activation function (the NT3 Act_Node).
 type Activate struct {
@@ -148,13 +136,26 @@ type Activate struct {
 
 func (a *Activate) Name() string { return fmt.Sprintf("Activation(%s)", a.Kind) }
 
-func (a *Activate) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	a.out = applyActivation(a.Kind, x)
-	return a.out
+func (a *Activate) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
+	act := actOf(a.Kind)
+	if act == tensor.ActIdentity {
+		a.out = x
+		return x
+	}
+	out := ar.Get(x.Shape...)
+	tensor.ActivateInto(out, act, x)
+	a.out = out
+	return out
 }
 
-func (a *Activate) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return activationGrad(a.Kind, a.out, dout)
+func (a *Activate) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	act := actOf(a.Kind)
+	if act == tensor.ActIdentity {
+		return dout
+	}
+	out := ar.Get(dout.Shape...)
+	tensor.ActivationBackwardInto(out, act, a.out, dout)
+	return out
 }
 
 func (a *Activate) Params() []*Param { return nil }
@@ -178,29 +179,38 @@ func NewDropout(r *rng.Rand, rate float64) *Dropout {
 
 func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%g)", d.Rate) }
 
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *Dropout) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
 	if !train || d.Rate == 0 {
 		d.mask = nil
 		return x
 	}
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	d.mask = make([]float64, x.Size())
-	out := tensor.New(x.Shape...)
+	if cap(d.mask) < x.Size() {
+		d.mask = make([]float64, x.Size())
+	} else {
+		d.mask = d.mask[:x.Size()]
+	}
+	out := ar.Get(x.Shape...)
+	// Both out and the reused mask are written on every element — the else
+	// branch is load-bearing because the buffers carry stale values.
 	for i := range x.Data {
 		if d.rand.Float64() < keep {
 			d.mask[i] = scale
 			out.Data[i] = x.Data[i] * scale
+		} else {
+			d.mask[i] = 0
+			out.Data[i] = 0
 		}
 	}
 	return out
 }
 
-func (d *Dropout) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (d *Dropout) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	if d.mask == nil {
 		return dout
 	}
-	out := tensor.New(dout.Shape...)
+	out := ar.Get(dout.Shape...)
 	for i := range dout.Data {
 		out.Data[i] = dout.Data[i] * d.mask[i]
 	}
@@ -232,16 +242,40 @@ func (c *Conv1D) Name() string {
 	return fmt.Sprintf("Conv1D(k=%d, f=%d)", c.W.Value.Shape[0], c.W.Value.Shape[2])
 }
 
-func (c *Conv1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: Conv1D input %v, want rank 3", x.Shape))
+	}
+	kernel := c.W.Value.Shape[0]
+	if x.Shape[1] < kernel {
+		panic(fmt.Sprintf("nn: Conv1D input length %d shorter than kernel %d", x.Shape[1], kernel))
+	}
 	c.x = x
-	z := tensor.Conv1D(x, c.W.Value, c.B.Value, c.Stride)
-	c.out = applyActivation(c.Activation, z)
-	return c.out
+	outLen := tensor.Conv1DOutLen(x.Shape[1], kernel, c.Stride)
+	z := ar.Get(x.Shape[0], outLen, c.W.Value.Shape[2])
+	tensor.Conv1DInto(z, x, c.W.Value, c.B.Value, c.Stride)
+	act := actOf(c.Activation)
+	if act == tensor.ActIdentity {
+		c.out = z
+		return z
+	}
+	out := ar.Get(z.Shape...)
+	tensor.ActivateInto(out, act, z)
+	c.out = out
+	return out
 }
 
-func (c *Conv1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	dz := activationGrad(c.Activation, c.out, dout)
-	dx, dw, db := tensor.Conv1DBackward(c.x, c.W.Value, dz, c.Stride)
+func (c *Conv1D) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	act := actOf(c.Activation)
+	dz := dout
+	if act != tensor.ActIdentity {
+		dz = ar.Get(dout.Shape...)
+		tensor.ActivationBackwardInto(dz, act, c.out, dout)
+	}
+	dx := ar.Get(c.x.Shape...)
+	dw := ar.Get(c.W.Value.Shape...)
+	db := ar.Get(c.B.Value.Shape...)
+	tensor.Conv1DBackwardInto(dx, dw, db, c.x, c.W.Value, dz, c.Stride)
 	tensor.AddInPlace(c.W.Grad, dw)
 	tensor.AddInPlace(c.B.Grad, db)
 	return dx
@@ -268,15 +302,35 @@ func NewMaxPool1D(pool, stride int) *MaxPool1D {
 
 func (m *MaxPool1D) Name() string { return fmt.Sprintf("MaxPooling1D(%d)", m.Pool) }
 
-func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	m.xShape = append([]int(nil), x.Shape...)
-	out, arg := tensor.MaxPool1D(x, m.Pool, m.Stride)
-	m.arg = arg
+func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: MaxPool1D input %v, want rank 3", x.Shape))
+	}
+	if x.Shape[1] < m.Pool {
+		panic(fmt.Sprintf("nn: MaxPool1D input length %d shorter than pool %d", x.Shape[1], m.Pool))
+	}
+	if cap(m.xShape) < x.Rank() {
+		m.xShape = make([]int, x.Rank())
+	} else {
+		m.xShape = m.xShape[:x.Rank()]
+	}
+	copy(m.xShape, x.Shape)
+	outLen := tensor.Conv1DOutLen(x.Shape[1], m.Pool, m.Stride)
+	out := ar.Get(x.Shape[0], outLen, x.Shape[2])
+	need := x.Shape[0] * outLen * x.Shape[2]
+	if cap(m.arg) < need {
+		m.arg = make([]int, need)
+	} else {
+		m.arg = m.arg[:need]
+	}
+	tensor.MaxPool1DInto(out, m.arg, x, m.Pool, m.Stride)
 	return out
 }
 
-func (m *MaxPool1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
-	return tensor.MaxPool1DBackward(m.xShape, m.arg, dout)
+func (m *MaxPool1D) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
+	dx := ar.Get(m.xShape...)
+	tensor.MaxPool1DBackwardInto(dx, m.arg, dout)
+	return dx
 }
 
 func (m *MaxPool1D) Params() []*Param { return nil }
@@ -288,15 +342,15 @@ type Flatten struct {
 
 func (f *Flatten) Name() string { return "Flatten" }
 
-func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.xShape = append([]int(nil), x.Shape...)
+func (f *Flatten) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
+	f.xShape = append(f.xShape[:0], x.Shape...)
 	if x.Rank() == 2 {
 		return x
 	}
 	return tensor.Flatten2D(x)
 }
 
-func (f *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (f *Flatten) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	return dout.Reshape(f.xShape...)
 }
 
@@ -309,14 +363,14 @@ type Reshape1D struct{}
 
 func (Reshape1D) Name() string { return "Reshape1D" }
 
-func (Reshape1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (Reshape1D) Forward(x *tensor.Tensor, train bool, ar *tensor.Arena) *tensor.Tensor {
 	if x.Rank() != 2 {
 		panic(fmt.Sprintf("nn: Reshape1D input rank %d", x.Rank()))
 	}
 	return x.Reshape(x.Shape[0], x.Shape[1], 1)
 }
 
-func (Reshape1D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+func (Reshape1D) Backward(dout *tensor.Tensor, ar *tensor.Arena) *tensor.Tensor {
 	return dout.Reshape(dout.Shape[0], dout.Shape[1])
 }
 

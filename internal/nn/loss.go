@@ -11,11 +11,17 @@ import (
 // [batch, d]) and the gradient of the loss with respect to pred. This is the
 // regression loss used for the Combo and Uno drug-response problems.
 func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	return MSELossArena(nil, pred, target)
+}
+
+// MSELossArena is MSELoss with the gradient buffer drawn from an optional
+// workspace arena (nil means heap).
+func MSELossArena(ar *tensor.Arena, pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 	if !tensor.SameShape(pred, target) {
 		panic(fmt.Sprintf("nn: MSELoss shape mismatch %v vs %v", pred.Shape, target.Shape))
 	}
 	n := float64(pred.Size())
-	grad := tensor.New(pred.Shape...)
+	grad := ar.Get(pred.Shape...)
 	var loss float64
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
@@ -29,12 +35,19 @@ func MSELoss(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
 // against integer class labels, and the gradient with respect to the logits.
 // This is the classification loss of the NT3 tumor/normal problem.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	return SoftmaxCrossEntropyArena(nil, logits, labels)
+}
+
+// SoftmaxCrossEntropyArena is SoftmaxCrossEntropy with the probability and
+// gradient buffers drawn from an optional workspace arena (nil means heap).
+func SoftmaxCrossEntropyArena(ar *tensor.Arena, logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
 	if logits.Rank() != 2 || logits.Shape[0] != len(labels) {
 		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy logits %v vs %d labels", logits.Shape, len(labels)))
 	}
 	batch, k := logits.Shape[0], logits.Shape[1]
-	probs := tensor.RowSoftmax(logits)
-	grad := tensor.New(logits.Shape...)
+	probs := ar.Get(logits.Shape...)
+	tensor.RowSoftmaxInto(probs, logits)
+	grad := ar.Get(logits.Shape...)
 	var loss float64
 	inv := 1 / float64(batch)
 	for i := 0; i < batch; i++ {

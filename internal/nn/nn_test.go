@@ -39,7 +39,7 @@ func TestDenseForwardShape(t *testing.T) {
 	d := NewDense(r, 5, 3, ActReLU)
 	x := tensor.New(4, 5)
 	x.Randn(r, 1)
-	y := d.Forward(x, true)
+	y := d.Forward(x, true, nil)
 	if y.Shape[0] != 4 || y.Shape[1] != 3 {
 		t.Fatalf("Dense output shape %v", y.Shape)
 	}
@@ -56,14 +56,14 @@ func TestDenseGradients(t *testing.T) {
 		d := NewDense(r, 4, 3, act)
 		x := tensor.New(2, 4)
 		x.Randn(r, 1)
-		out := d.Forward(x, true)
+		out := d.Forward(x, true, nil)
 		dout := tensor.New(out.Shape...)
 		dout.Fill(1)
 		d.W.ZeroGrad()
 		d.B.ZeroGrad()
-		dx := d.Backward(dout)
+		dx := d.Backward(dout, nil)
 
-		loss := func() float64 { return d.Forward(x, true).Sum() }
+		loss := func() float64 { return d.Forward(x, true, nil).Sum() }
 		gradCheck(t, "Dense("+act+")", loss, []*Param{d.W, d.B},
 			map[*Param]*tensor.Tensor{d.W: d.W.Grad.Clone(), d.B: d.B.Grad.Clone()})
 
@@ -90,8 +90,8 @@ func TestDenseSharedWeights(t *testing.T) {
 	d2 := NewDenseShared(d1.W, d1.B, ActLinear)
 	x := tensor.New(2, 3)
 	x.Randn(r, 1)
-	y1 := d1.Forward(x, true)
-	y2 := d2.Forward(x, true)
+	y1 := d1.Forward(x, true, nil)
+	y2 := d2.Forward(x, true, nil)
 	for i := range y1.Data {
 		if y1.Data[i] != y2.Data[i] {
 			t.Fatal("shared dense layers disagree on same input")
@@ -101,9 +101,9 @@ func TestDenseSharedWeights(t *testing.T) {
 	d1.W.ZeroGrad()
 	dout := tensor.New(y1.Shape...)
 	dout.Fill(1)
-	d1.Backward(dout)
+	d1.Backward(dout, nil)
 	after1 := d1.W.Grad.Clone()
-	d2.Backward(dout)
+	d2.Backward(dout, nil)
 	for i := range after1.Data {
 		if math.Abs(d1.W.Grad.Data[i]-2*after1.Data[i]) > 1e-12 {
 			t.Fatal("shared gradient did not accumulate")
@@ -117,19 +117,19 @@ func TestActivateGradients(t *testing.T) {
 		a := &Activate{Kind: act}
 		x := tensor.New(3, 4)
 		x.Randn(r, 1)
-		a.Forward(x, true)
+		a.Forward(x, true, nil)
 		dout := tensor.New(3, 4)
 		dout.Fill(1)
-		dx := a.Backward(dout)
+		dx := a.Backward(dout, nil)
 		const h = 1e-6
 		for i := range x.Data {
 			old := x.Data[i]
 			x.Data[i] = old + h
-			lp := a.Forward(x, true).Sum()
+			lp := a.Forward(x, true, nil).Sum()
 			x.Data[i] = old - h
-			lm := a.Forward(x, true).Sum()
+			lm := a.Forward(x, true, nil).Sum()
 			x.Data[i] = old
-			a.Forward(x, true) // restore cache
+			a.Forward(x, true, nil) // restore cache
 			fd := (lp - lm) / (2 * h)
 			if math.Abs(fd-dx.Data[i]) > fdTol {
 				t.Fatalf("Activate(%s) dx[%d] = %g, fd %g", act, i, dx.Data[i], fd)
@@ -144,14 +144,14 @@ func TestDropoutTrainEval(t *testing.T) {
 	x := tensor.New(100, 100)
 	x.Fill(1)
 	// Inference is the identity.
-	y := d.Forward(x, false)
+	y := d.Forward(x, false, nil)
 	for i := range y.Data {
 		if y.Data[i] != 1 {
 			t.Fatal("dropout changed values at inference")
 		}
 	}
 	// Training keeps roughly (1-rate) of units, scaled by 1/(1-rate).
-	y = d.Forward(x, true)
+	y = d.Forward(x, true, nil)
 	kept := 0
 	for _, v := range y.Data {
 		switch v {
@@ -169,7 +169,7 @@ func TestDropoutTrainEval(t *testing.T) {
 	// Backward masks identically.
 	dout := tensor.New(100, 100)
 	dout.Fill(1)
-	dx := d.Backward(dout)
+	dx := d.Backward(dout, nil)
 	for i := range y.Data {
 		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
 			t.Fatal("dropout backward mask mismatch")
@@ -182,7 +182,7 @@ func TestDropoutExpectationPreserved(t *testing.T) {
 	d := NewDropout(r, 0.3)
 	x := tensor.New(200, 50)
 	x.Fill(1)
-	y := d.Forward(x, true)
+	y := d.Forward(x, true, nil)
 	if math.Abs(y.Mean()-1) > 0.05 {
 		t.Fatalf("inverted dropout mean %g, want ~1", y.Mean())
 	}
@@ -193,13 +193,13 @@ func TestConv1DLayerGradients(t *testing.T) {
 	c := NewConv1D(r, 3, 2, 4, 1, ActTanh)
 	x := tensor.New(2, 8, 2)
 	x.Randn(r, 1)
-	out := c.Forward(x, true)
+	out := c.Forward(x, true, nil)
 	dout := tensor.New(out.Shape...)
 	dout.Fill(1)
 	c.W.ZeroGrad()
 	c.B.ZeroGrad()
-	c.Backward(dout)
-	loss := func() float64 { return c.Forward(x, true).Sum() }
+	c.Backward(dout, nil)
+	loss := func() float64 { return c.Forward(x, true, nil).Sum() }
 	gradCheck(t, "Conv1D", loss, []*Param{c.W, c.B},
 		map[*Param]*tensor.Tensor{c.W: c.W.Grad.Clone(), c.B: c.B.Grad.Clone()})
 }
@@ -210,13 +210,13 @@ func TestMaxPoolFlattenRoundtrip(t *testing.T) {
 	x.Randn(r, 1)
 	p := NewMaxPool1D(3, 0)
 	f := &Flatten{}
-	y := f.Forward(p.Forward(x, true), true)
+	y := f.Forward(p.Forward(x, true, nil), true, nil)
 	if y.Shape[0] != 3 || y.Shape[1] != 4*2 {
 		t.Fatalf("pool+flatten shape %v", y.Shape)
 	}
 	dout := tensor.New(y.Shape...)
 	dout.Fill(1)
-	dx := p.Backward(f.Backward(dout))
+	dx := p.Backward(f.Backward(dout, nil), nil)
 	if !tensor.SameShape(dx, x) {
 		t.Fatalf("backward shape %v, want %v", dx.Shape, x.Shape)
 	}
@@ -224,11 +224,11 @@ func TestMaxPoolFlattenRoundtrip(t *testing.T) {
 
 func TestReshape1D(t *testing.T) {
 	x := tensor.New(2, 5)
-	y := Reshape1D{}.Forward(x, true)
+	y := Reshape1D{}.Forward(x, true, nil)
 	if y.Shape[0] != 2 || y.Shape[1] != 5 || y.Shape[2] != 1 {
 		t.Fatalf("Reshape1D shape %v", y.Shape)
 	}
-	back := Reshape1D{}.Backward(y)
+	back := Reshape1D{}.Backward(y, nil)
 	if back.Shape[0] != 2 || back.Shape[1] != 5 {
 		t.Fatalf("Reshape1D backward shape %v", back.Shape)
 	}

@@ -180,7 +180,7 @@ func (c *Controller) Sample(m int) []*Episode {
 	for t := 0; t < T; t++ {
 		x := c.onehotInputs(eps, t)
 		h, cs = c.policy.Step(x, h, cs)
-		logits := c.heads[t].Forward(h, false)
+		logits := c.heads[t].Forward(h, false, nil)
 		probs := tensor.RowSoftmax(logits)
 		k := c.Space.NumChoices(t)
 		for i := range eps {
@@ -205,7 +205,7 @@ func (c *Controller) Greedy() []int {
 	for t := 0; t < T; t++ {
 		x := c.onehotInputs(eps, t)
 		h, cs = c.policy.Step(x, h, cs)
-		logits := c.heads[t].Forward(h, false)
+		logits := c.heads[t].Forward(h, false, nil)
 		ep.Choices[t] = tensor.ArgmaxRows(logits)[0]
 	}
 	c.policy.ResetCache()
@@ -243,7 +243,7 @@ func (c *Controller) ComputeGradient(eps []*Episode) ([]float64, GradientStats) 
 		// The scalar head is shared across steps; clone the layer wrapper
 		// per step so each keeps its own forward cache for backprop.
 		head := nn.NewDenseShared(c.valueHead.W, c.valueHead.B, nn.ActLinear)
-		values[t] = head.Forward(vh, true)
+		values[t] = head.Forward(vh, true, nil)
 		vHeads[t] = head
 	}
 
@@ -281,7 +281,7 @@ func (c *Controller) ComputeGradient(eps []*Episode) ([]float64, GradientStats) 
 	for t := 0; t < T; t++ {
 		x := c.onehotInputs(eps, t)
 		ph, pc = c.policy.Step(x, ph, pc)
-		logits := c.heads[t].Forward(ph, true)
+		logits := c.heads[t].Forward(ph, true, nil)
 		probs[t] = tensor.RowSoftmax(logits)
 	}
 
@@ -345,7 +345,7 @@ func (c *Controller) ComputeGradient(eps []*Episode) ([]float64, GradientStats) 
 	// Backprop policy: heads then BPTT.
 	var dh, dc *tensor.Tensor
 	for t := T - 1; t >= 0; t-- {
-		g := c.heads[t].Backward(dLogits[t])
+		g := c.heads[t].Backward(dLogits[t], nil)
 		if dh != nil {
 			tensor.AddInPlace(g, dh)
 		}
@@ -361,7 +361,7 @@ func (c *Controller) ComputeGradient(eps []*Episode) ([]float64, GradientStats) 
 			st.ValueLoss += diff * diff / n
 			dv.Set(c.Cfg.ValueCoef*2*diff/n, i, 0)
 		}
-		g := vHeads[t].Backward(dv)
+		g := vHeads[t].Backward(dv, nil)
 		if dvh != nil {
 			tensor.AddInPlace(g, dvh)
 		}

@@ -118,7 +118,7 @@ func TestPPOGradientFiniteDifference(t *testing.T) {
 			x := c.onehotInputs(eps, tt)
 			vh, vc = c.value.Step(x, vh, vc)
 			head := nn.NewDenseShared(c.valueHead.W, c.valueHead.B, nn.ActLinear)
-			out := head.Forward(vh, false)
+			out := head.Forward(vh, false, nil)
 			values[tt] = append([]float64(nil), out.Data...)
 		}
 		c.value.ResetCache()
@@ -151,7 +151,7 @@ func TestPPOGradientFiniteDifference(t *testing.T) {
 		for tt := 0; tt < T; tt++ {
 			x := c.onehotInputs(eps, tt)
 			ph, pc = c.policy.Step(x, ph, pc)
-			logits := c.heads[tt].Forward(ph, false)
+			logits := c.heads[tt].Forward(ph, false, nil)
 			probs := tensor.RowSoftmax(logits)
 			k := s.NumChoices(tt)
 			for i, ep := range eps {

@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// Arena is a shape-keyed free list of reusable tensors: the workspace
+// allocator of the training hot path. A steady-state train step acquires the
+// same shapes every batch, so after the first batch every Get is served from
+// the free list and the step allocates nothing.
+//
+// Usage contract:
+//
+//   - Get returns a ZEROED tensor, exactly like New, so arena-backed and
+//     heap-backed code paths compute bit-identical results.
+//   - Reset returns every tensor handed out since the last Reset to the free
+//     list. All of them are invalidated: the owner calls Reset once per batch
+//     (after the optimizer step), never while a forward/backward pair is in
+//     flight.
+//   - An Arena is NOT safe for concurrent use and must never be shared
+//     across goroutines; each in-flight model owns its own arena (the
+//     evaluator's worker pool trains one model per goroutine).
+//   - A nil *Arena is valid and degrades to plain New/no-op, so code can
+//     thread an optional arena without branching.
+type Arena struct {
+	free  map[arenaKey][]*Tensor
+	inUse []*Tensor
+}
+
+// arenaKey identifies a free list by exact shape (rank <= 3 covers every
+// tensor in the nn substrate). It is a comparable value type so map lookups
+// allocate nothing.
+type arenaKey struct {
+	rank       int
+	d0, d1, d2 int
+}
+
+func keyOf(shape []int) (arenaKey, bool) {
+	k := arenaKey{rank: len(shape)}
+	switch len(shape) {
+	case 0:
+	case 1:
+		k.d0 = shape[0]
+	case 2:
+		k.d0, k.d1 = shape[0], shape[1]
+	case 3:
+		k.d0, k.d1, k.d2 = shape[0], shape[1], shape[2]
+	default:
+		return arenaKey{}, false
+	}
+	return k, true
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: map[arenaKey][]*Tensor{}}
+}
+
+// Get returns a zeroed tensor of the given shape, reusing a free buffer when
+// one matches. On a nil arena it is exactly New. Tensors of rank > 3 are not
+// pooled (none exist in practice) and fall back to New.
+func (a *Arena) Get(shape ...int) *Tensor {
+	if a == nil {
+		return New(shape...)
+	}
+	k, ok := keyOf(shape)
+	if !ok {
+		return New(shape...)
+	}
+	if list := a.free[k]; len(list) > 0 {
+		t := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.free[k] = list[:len(list)-1]
+		t.Zero()
+		a.inUse = append(a.inUse, t)
+		return t
+	}
+	t := New(shape...)
+	a.inUse = append(a.inUse, t)
+	return t
+}
+
+// Reset returns every tensor handed out since the last Reset to the free
+// list, invalidating all of them. No-op on a nil arena.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, t := range a.inUse {
+		if k, ok := keyOf(t.Shape); ok {
+			a.free[k] = append(a.free[k], t)
+		}
+		a.inUse[i] = nil
+	}
+	a.inUse = a.inUse[:0]
+}
+
+// Live returns how many tensors are currently handed out (between Get and
+// Reset) — an observability hook for leak tests.
+func (a *Arena) Live() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.inUse)
+}
+
+// Pooled returns how many tensors are parked on free lists.
+func (a *Arena) Pooled() int {
+	if a == nil {
+		return 0
+	}
+	n := 0
+	for _, list := range a.free {
+		n += len(list)
+	}
+	return n
+}
+
+// overlaps reports whether two float64 slices share any backing memory.
+func overlaps(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	a0 := uintptr(unsafe.Pointer(unsafe.SliceData(a)))
+	b0 := uintptr(unsafe.Pointer(unsafe.SliceData(b)))
+	aEnd := a0 + uintptr(len(a))*unsafe.Sizeof(a[0])
+	bEnd := b0 + uintptr(len(b))*unsafe.Sizeof(b[0])
+	return a0 < bEnd && b0 < aEnd
+}
+
+// assertNoAlias panics if dst shares memory with any source operand. Every
+// destination-passing kernel calls it: the kernels write dst while reading
+// the sources, so an aliased destination would silently corrupt the
+// computation (and, worse, do so dependent on loop order).
+func assertNoAlias(op string, dst *Tensor, srcs ...*Tensor) {
+	for _, s := range srcs {
+		if s == nil {
+			continue
+		}
+		if overlaps(dst.Data, s.Data) {
+			panic(fmt.Sprintf("tensor: %s destination aliases a source operand", op))
+		}
+	}
+}

@@ -2,6 +2,12 @@ package tensor
 
 import "fmt"
 
+// Conv1DOutLen returns the output length of a "valid" 1-D convolution or max
+// pool with the given window and stride.
+func Conv1DOutLen(length, window, stride int) int {
+	return (length-window)/stride + 1
+}
+
 // Conv1D computes a 1-D "valid" convolution (really cross-correlation, as in
 // Keras) over x of shape [batch, length, inChannels] with kernel w of shape
 // [kernel, inChannels, outChannels] and bias b of shape [outChannels]. The
@@ -11,63 +17,121 @@ func Conv1D(x, w, b *Tensor, stride int) *Tensor {
 	if x.Rank() != 3 || w.Rank() != 3 {
 		panic(fmt.Sprintf("tensor: Conv1D requires rank-3 x and w, got %v, %v", x.Shape, w.Shape))
 	}
+	if x.Shape[1] < w.Shape[0] {
+		panic(fmt.Sprintf("tensor: Conv1D input length %d shorter than kernel %d", x.Shape[1], w.Shape[0]))
+	}
 	if stride < 1 {
 		panic("tensor: Conv1D stride must be >= 1")
+	}
+	out := New(x.Shape[0], Conv1DOutLen(x.Shape[1], w.Shape[0], stride), w.Shape[2])
+	Conv1DInto(out, x, w, b, stride)
+	return out
+}
+
+// Conv1DInto computes a 1-D "valid" convolution into a caller-provided
+// [batch, outLen, outChannels] destination, which must not alias any operand.
+func Conv1DInto(dst, x, w, b *Tensor, stride int) {
+	if x.Rank() != 3 || w.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: Conv1DInto requires rank-3 x and w, got %v, %v", x.Shape, w.Shape))
+	}
+	if stride < 1 {
+		panic("tensor: Conv1DInto stride must be >= 1")
 	}
 	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
 	kernel, cin2, cout := w.Shape[0], w.Shape[1], w.Shape[2]
 	if cin != cin2 {
-		panic(fmt.Sprintf("tensor: Conv1D channel mismatch x=%v w=%v", x.Shape, w.Shape))
+		panic(fmt.Sprintf("tensor: Conv1DInto channel mismatch x=%v w=%v", x.Shape, w.Shape))
 	}
 	if b != nil && (b.Rank() != 1 || b.Shape[0] != cout) {
-		panic(fmt.Sprintf("tensor: Conv1D bias shape %v, want [%d]", b.Shape, cout))
+		panic(fmt.Sprintf("tensor: Conv1DInto bias shape %v, want [%d]", b.Shape, cout))
 	}
 	if length < kernel {
-		panic(fmt.Sprintf("tensor: Conv1D input length %d shorter than kernel %d", length, kernel))
+		panic(fmt.Sprintf("tensor: Conv1DInto input length %d shorter than kernel %d", length, kernel))
 	}
-	outLen := (length-kernel)/stride + 1
-	out := New(batch, outLen, cout)
-	work := func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			xb := x.Data[n*length*cin : (n+1)*length*cin]
-			ob := out.Data[n*outLen*cout : (n+1)*outLen*cout]
-			for t := 0; t < outLen; t++ {
-				orow := ob[t*cout : (t+1)*cout]
-				if b != nil {
-					copy(orow, b.Data)
+	outLen := Conv1DOutLen(length, kernel, stride)
+	if dst.Rank() != 3 || dst.Shape[0] != batch || dst.Shape[1] != outLen || dst.Shape[2] != cout {
+		panic(fmt.Sprintf("tensor: Conv1DInto destination %v, want [%d %d %d]", dst.Shape, batch, outLen, cout))
+	}
+	assertNoAlias("Conv1DInto", dst, x, w, b)
+	// Serial path first, closure only on the parallel branch — see serialRows.
+	if serialRows(batch, batch*outLen*cout*kernel*cin) {
+		conv1DRows(dst, x, w, b, stride, 0, batch)
+		return
+	}
+	parallelRows(batch, batch*outLen*cout*kernel*cin, func(lo, hi int) {
+		conv1DRows(dst, x, w, b, stride, lo, hi)
+	})
+}
+
+// conv1DRows computes batch rows [lo,hi) of a Conv1DInto call.
+func conv1DRows(dst, x, w, b *Tensor, stride, lo, hi int) {
+	length, cin := x.Shape[1], x.Shape[2]
+	kernel, cout := w.Shape[0], w.Shape[2]
+	outLen := dst.Shape[1]
+	for n := lo; n < hi; n++ {
+		xb := x.Data[n*length*cin : (n+1)*length*cin]
+		ob := dst.Data[n*outLen*cout : (n+1)*outLen*cout]
+		for t := 0; t < outLen; t++ {
+			orow := ob[t*cout : (t+1)*cout]
+			if b != nil {
+				copy(orow, b.Data)
+			} else {
+				for o := range orow {
+					orow[o] = 0
 				}
-				start := t * stride
-				for k := 0; k < kernel; k++ {
-					xrow := xb[(start+k)*cin : (start+k+1)*cin]
-					wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
-					for c := 0; c < cin; c++ {
-						xv := xrow[c]
-						if xv == 0 {
-							continue
-						}
-						wr := wrow[c*cout : (c+1)*cout]
-						for o, wv := range wr {
-							orow[o] += xv * wv
-						}
+			}
+			start := t * stride
+			for k := 0; k < kernel; k++ {
+				xrow := xb[(start+k)*cin : (start+k+1)*cin]
+				wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
+				for c := 0; c < cin; c++ {
+					xv := xrow[c]
+					if xv == 0 {
+						continue
+					}
+					wr := wrow[c*cout : (c+1)*cout]
+					for o, wv := range wr {
+						orow[o] += xv * wv
 					}
 				}
 			}
 		}
 	}
-	parallelRows(batch, batch*outLen*cout*kernel*cin, work)
-	return out
 }
 
 // Conv1DBackward computes the gradients of a Conv1D call. dout has the
 // output shape [batch, outLen, outChannels]; the returned dx, dw, db match
 // the shapes of x, w, and the bias respectively.
 func Conv1DBackward(x, w, dout *Tensor, stride int) (dx, dw, db *Tensor) {
+	dx = New(x.Shape[0], x.Shape[1], x.Shape[2])
+	dw = New(w.Shape[0], w.Shape[1], w.Shape[2])
+	db = New(w.Shape[2])
+	Conv1DBackwardInto(dx, dw, db, x, w, dout, stride)
+	return dx, dw, db
+}
+
+// Conv1DBackwardInto computes the gradients of a Conv1D call into
+// caller-provided destinations shaped like x, w, and the bias, none of which
+// may alias an operand.
+func Conv1DBackwardInto(dx, dw, db, x, w, dout *Tensor, stride int) {
 	batch, length, cin := x.Shape[0], x.Shape[1], x.Shape[2]
 	kernel, _, cout := w.Shape[0], w.Shape[1], w.Shape[2]
 	outLen := dout.Shape[1]
-	dx = New(batch, length, cin)
-	dw = New(kernel, cin, cout)
-	db = New(cout)
+	if dx.Rank() != 3 || dx.Shape[0] != batch || dx.Shape[1] != length || dx.Shape[2] != cin {
+		panic(fmt.Sprintf("tensor: Conv1DBackwardInto dx %v, want %v", dx.Shape, x.Shape))
+	}
+	if dw.Rank() != 3 || dw.Shape[0] != kernel || dw.Shape[1] != cin || dw.Shape[2] != cout {
+		panic(fmt.Sprintf("tensor: Conv1DBackwardInto dw %v, want %v", dw.Shape, w.Shape))
+	}
+	if db.Rank() != 1 || db.Shape[0] != cout {
+		panic(fmt.Sprintf("tensor: Conv1DBackwardInto db %v, want [%d]", db.Shape, cout))
+	}
+	assertNoAlias("Conv1DBackwardInto", dx, x, w, dout)
+	assertNoAlias("Conv1DBackwardInto", dw, x, w, dout)
+	assertNoAlias("Conv1DBackwardInto", db, x, w, dout)
+	dx.Zero()
+	dw.Zero()
+	db.Zero()
 	// Bias and weight gradients accumulate across the batch; keep them
 	// single-threaded (they are small) and parallelize dx over the batch.
 	for n := 0; n < batch; n++ {
@@ -95,30 +159,41 @@ func Conv1DBackward(x, w, dout *Tensor, stride int) (dx, dw, db *Tensor) {
 			}
 		}
 	}
-	work := func(lo, hi int) {
-		for n := lo; n < hi; n++ {
-			dxb := dx.Data[n*length*cin : (n+1)*length*cin]
-			gb := dout.Data[n*outLen*cout : (n+1)*outLen*cout]
-			for t := 0; t < outLen; t++ {
-				grow := gb[t*cout : (t+1)*cout]
-				start := t * stride
-				for k := 0; k < kernel; k++ {
-					dxrow := dxb[(start+k)*cin : (start+k+1)*cin]
-					wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
-					for c := 0; c < cin; c++ {
-						wr := wrow[c*cout : (c+1)*cout]
-						var s float64
-						for o, gv := range grow {
-							s += gv * wr[o]
-						}
-						dxrow[c] += s
+	if serialRows(batch, batch*outLen*cout*kernel*cin) {
+		conv1DBackwardDxRows(dx, w, dout, stride, 0, batch)
+		return
+	}
+	parallelRows(batch, batch*outLen*cout*kernel*cin, func(lo, hi int) {
+		conv1DBackwardDxRows(dx, w, dout, stride, lo, hi)
+	})
+}
+
+// conv1DBackwardDxRows accumulates the input gradient for batch rows [lo,hi).
+// Callers hand it a zeroed band.
+func conv1DBackwardDxRows(dx, w, dout *Tensor, stride, lo, hi int) {
+	length, cin := dx.Shape[1], dx.Shape[2]
+	kernel, cout := w.Shape[0], w.Shape[2]
+	outLen := dout.Shape[1]
+	for n := lo; n < hi; n++ {
+		dxb := dx.Data[n*length*cin : (n+1)*length*cin]
+		gb := dout.Data[n*outLen*cout : (n+1)*outLen*cout]
+		for t := 0; t < outLen; t++ {
+			grow := gb[t*cout : (t+1)*cout]
+			start := t * stride
+			for k := 0; k < kernel; k++ {
+				dxrow := dxb[(start+k)*cin : (start+k+1)*cin]
+				wrow := w.Data[k*cin*cout : (k+1)*cin*cout]
+				for c := 0; c < cin; c++ {
+					wr := wrow[c*cout : (c+1)*cout]
+					var s float64
+					for o, gv := range grow {
+						s += gv * wr[o]
 					}
+					dxrow[c] += s
 				}
 			}
 		}
 	}
-	parallelRows(batch, batch*outLen*cout*kernel*cin, work)
-	return dx, dw, db
 }
 
 // MaxPool1D computes max pooling over x of shape [batch, length, channels]
@@ -132,13 +207,38 @@ func MaxPool1D(x *Tensor, pool, stride int) (*Tensor, []int) {
 	if pool < 1 || stride < 1 {
 		panic("tensor: MaxPool1D pool and stride must be >= 1")
 	}
+	if x.Shape[1] < pool {
+		panic(fmt.Sprintf("tensor: MaxPool1D input length %d shorter than pool %d", x.Shape[1], pool))
+	}
+	outLen := Conv1DOutLen(x.Shape[1], pool, stride)
+	out := New(x.Shape[0], outLen, x.Shape[2])
+	arg := make([]int, x.Shape[0]*outLen*x.Shape[2])
+	MaxPool1DInto(out, arg, x, pool, stride)
+	return out, arg
+}
+
+// MaxPool1DInto computes max pooling into a caller-provided
+// [batch, outLen, channels] destination and argmax slice of matching flat
+// length; dst must not alias x.
+func MaxPool1DInto(dst *Tensor, arg []int, x *Tensor, pool, stride int) {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("tensor: MaxPool1DInto requires rank-3 input, got %v", x.Shape))
+	}
+	if pool < 1 || stride < 1 {
+		panic("tensor: MaxPool1DInto pool and stride must be >= 1")
+	}
 	batch, length, ch := x.Shape[0], x.Shape[1], x.Shape[2]
 	if length < pool {
-		panic(fmt.Sprintf("tensor: MaxPool1D input length %d shorter than pool %d", length, pool))
+		panic(fmt.Sprintf("tensor: MaxPool1DInto input length %d shorter than pool %d", length, pool))
 	}
-	outLen := (length-pool)/stride + 1
-	out := New(batch, outLen, ch)
-	arg := make([]int, batch*outLen*ch)
+	outLen := Conv1DOutLen(length, pool, stride)
+	if dst.Rank() != 3 || dst.Shape[0] != batch || dst.Shape[1] != outLen || dst.Shape[2] != ch {
+		panic(fmt.Sprintf("tensor: MaxPool1DInto destination %v, want [%d %d %d]", dst.Shape, batch, outLen, ch))
+	}
+	if len(arg) != batch*outLen*ch {
+		panic(fmt.Sprintf("tensor: MaxPool1DInto arg length %d, want %d", len(arg), batch*outLen*ch))
+	}
+	assertNoAlias("MaxPool1DInto", dst, x)
 	for n := 0; n < batch; n++ {
 		for t := 0; t < outLen; t++ {
 			start := t * stride
@@ -153,22 +253,33 @@ func MaxPool1D(x *Tensor, pool, stride int) (*Tensor, []int) {
 					}
 				}
 				o := n*outLen*ch + t*ch + c
-				out.Data[o] = best
+				dst.Data[o] = best
 				arg[o] = bestIdx
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool1DBackward scatters dout back through the argmax indices returned
 // by MaxPool1D, producing a gradient with the shape of the original input.
 func MaxPool1DBackward(xShape []int, arg []int, dout *Tensor) *Tensor {
 	dx := New(xShape...)
-	for o, idx := range arg {
-		dx.Data[idx] += dout.Data[o]
-	}
+	MaxPool1DBackwardInto(dx, arg, dout)
 	return dx
+}
+
+// MaxPool1DBackwardInto scatters dout back through the argmax indices into a
+// caller-provided destination shaped like the original input, which must not
+// alias dout.
+func MaxPool1DBackwardInto(dst *Tensor, arg []int, dout *Tensor) {
+	if len(arg) != len(dout.Data) {
+		panic(fmt.Sprintf("tensor: MaxPool1DBackwardInto arg length %d, want %d", len(arg), len(dout.Data)))
+	}
+	assertNoAlias("MaxPool1DBackwardInto", dst, dout)
+	dst.Zero()
+	for o, idx := range arg {
+		dst.Data[idx] += dout.Data[o]
+	}
 }
 
 // Flatten2D reshapes [batch, a, b] to [batch, a*b] (a copy-free view).

@@ -8,11 +8,29 @@ import (
 // ConcatCols concatenates rank-2 tensors with equal row counts along the
 // column axis, the operation behind the paper's Concatenate output rule.
 func ConcatCols(ts ...*Tensor) *Tensor {
+	rows, total := concatColsDims(ts)
+	out := New(rows, total)
+	concatColsBody(out, ts, rows, total)
+	return out
+}
+
+// ConcatColsInto concatenates rank-2 tensors with equal row counts along the
+// column axis into a caller-provided destination, which must not alias any
+// source.
+func ConcatColsInto(dst *Tensor, ts ...*Tensor) {
+	rows, total := concatColsDims(ts)
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != total {
+		panic(fmt.Sprintf("tensor: ConcatColsInto destination %v, want [%d %d]", dst.Shape, rows, total))
+	}
+	assertNoAlias("ConcatColsInto", dst, ts...)
+	concatColsBody(dst, ts, rows, total)
+}
+
+func concatColsDims(ts []*Tensor) (rows, total int) {
 	if len(ts) == 0 {
 		panic("tensor: ConcatCols of no tensors")
 	}
-	rows := ts[0].Shape[0]
-	total := 0
+	rows = ts[0].Shape[0]
 	for _, t := range ts {
 		if t.Rank() != 2 {
 			panic(fmt.Sprintf("tensor: ConcatCols requires rank 2, got %v", t.Shape))
@@ -22,7 +40,10 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 		}
 		total += t.Shape[1]
 	}
-	out := New(rows, total)
+	return rows, total
+}
+
+func concatColsBody(out *Tensor, ts []*Tensor, rows, total int) {
 	for i := 0; i < rows; i++ {
 		off := i * total
 		for _, t := range ts {
@@ -31,7 +52,6 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 			off += c
 		}
 	}
-	return out
 }
 
 // SplitCols splits a rank-2 tensor into column blocks of the given widths,
@@ -41,26 +61,45 @@ func SplitCols(t *Tensor, widths []int) []*Tensor {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: SplitCols requires rank 2, got %v", t.Shape))
 	}
-	total := 0
-	for _, w := range widths {
-		total += w
-	}
-	if total != t.Shape[1] {
-		panic(fmt.Sprintf("tensor: SplitCols widths %v do not sum to %d", widths, t.Shape[1]))
-	}
 	rows := t.Shape[0]
 	out := make([]*Tensor, len(widths))
 	for i, w := range widths {
 		out[i] = New(rows, w)
 	}
+	SplitColsInto(out, t, widths)
+	return out
+}
+
+// SplitColsInto splits a rank-2 tensor into caller-provided column blocks of
+// the given widths; dsts[i] must be [rows, widths[i]] and must not alias t.
+func SplitColsInto(dsts []*Tensor, t *Tensor, widths []int) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: SplitColsInto requires rank 2, got %v", t.Shape))
+	}
+	if len(dsts) != len(widths) {
+		panic(fmt.Sprintf("tensor: SplitColsInto %d destinations for %d widths", len(dsts), len(widths)))
+	}
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	if total != t.Shape[1] {
+		panic(fmt.Sprintf("tensor: SplitColsInto widths %v do not sum to %d", widths, t.Shape[1]))
+	}
+	rows := t.Shape[0]
+	for j, d := range dsts {
+		if d.Rank() != 2 || d.Shape[0] != rows || d.Shape[1] != widths[j] {
+			panic(fmt.Sprintf("tensor: SplitColsInto destination %d is %v, want [%d %d]", j, d.Shape, rows, widths[j]))
+		}
+		assertNoAlias("SplitColsInto", d, t)
+	}
 	for i := 0; i < rows; i++ {
 		off := i * total
 		for j, w := range widths {
-			copy(out[j].Data[i*w:(i+1)*w], t.Data[off:off+w])
+			copy(dsts[j].Data[i*w:(i+1)*w], t.Data[off:off+w])
 			off += w
 		}
 	}
-	return out
 }
 
 // RowSoftmax computes a numerically stable softmax over each row of a rank-2
@@ -69,11 +108,25 @@ func RowSoftmax(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: RowSoftmax requires rank 2, got %v", t.Shape))
 	}
+	out := New(t.Shape[0], t.Shape[1])
+	RowSoftmaxInto(out, t)
+	return out
+}
+
+// RowSoftmaxInto computes a numerically stable softmax over each row of a
+// rank-2 tensor into a same-shaped destination, which must not alias t.
+func RowSoftmaxInto(dst, t *Tensor) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: RowSoftmaxInto requires rank 2, got %v", t.Shape))
+	}
 	rows, cols := t.Shape[0], t.Shape[1]
-	out := New(rows, cols)
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: RowSoftmaxInto destination %v, want %v", dst.Shape, t.Shape))
+	}
+	assertNoAlias("RowSoftmaxInto", dst, t)
 	for i := 0; i < rows; i++ {
 		row := t.Data[i*cols : (i+1)*cols]
-		orow := out.Data[i*cols : (i+1)*cols]
+		orow := dst.Data[i*cols : (i+1)*cols]
 		m := row[0]
 		for _, v := range row[1:] {
 			if v > m {
@@ -91,7 +144,6 @@ func RowSoftmax(t *Tensor) *Tensor {
 			orow[j] *= inv
 		}
 	}
-	return out
 }
 
 // ArgmaxRows returns the index of the maximum of each row of a rank-2
@@ -134,15 +186,30 @@ func GatherRows(t *Tensor, idx []int) *Tensor {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: GatherRows requires rank 2, got %v", t.Shape))
 	}
+	out := New(len(idx), t.Shape[1])
+	GatherRowsInto(out, t, idx)
+	return out
+}
+
+// GatherRowsInto copies the given rows of a rank-2 tensor, in order, into a
+// caller-provided [len(idx), cols] destination, which must not alias t. This
+// is the mini-batch assembly path: train.Fit reuses one destination across
+// every batch of an epoch.
+func GatherRowsInto(dst, t *Tensor, idx []int) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: GatherRowsInto requires rank 2, got %v", t.Shape))
+	}
 	cols := t.Shape[1]
-	out := New(len(idx), cols)
+	if dst.Rank() != 2 || dst.Shape[0] != len(idx) || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto destination %v, want [%d %d]", dst.Shape, len(idx), cols))
+	}
+	assertNoAlias("GatherRowsInto", dst, t)
 	for i, r := range idx {
 		if r < 0 || r >= t.Shape[0] {
-			panic(fmt.Sprintf("tensor: GatherRows index %d out of range %d", r, t.Shape[0]))
+			panic(fmt.Sprintf("tensor: GatherRowsInto index %d out of range %d", r, t.Shape[0]))
 		}
-		copy(out.Data[i*cols:(i+1)*cols], t.Data[r*cols:(r+1)*cols])
+		copy(dst.Data[i*cols:(i+1)*cols], t.Data[r*cols:(r+1)*cols])
 	}
-	return out
 }
 
 // AddRowVector adds a length-c vector to every row of an [r,c] tensor,
@@ -151,16 +218,29 @@ func AddRowVector(t, v *Tensor) *Tensor {
 	if t.Rank() != 2 || v.Rank() != 1 || t.Shape[1] != v.Shape[0] {
 		panic(fmt.Sprintf("tensor: AddRowVector shape mismatch %v + %v", t.Shape, v.Shape))
 	}
+	out := New(t.Shape[0], t.Shape[1])
+	AddRowVectorInto(out, t, v)
+	return out
+}
+
+// AddRowVectorInto adds a length-c vector to every row of an [r,c] tensor
+// into a same-shaped destination, which must not alias either operand.
+func AddRowVectorInto(dst, t, v *Tensor) {
+	if t.Rank() != 2 || v.Rank() != 1 || t.Shape[1] != v.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto shape mismatch %v + %v", t.Shape, v.Shape))
+	}
 	rows, cols := t.Shape[0], t.Shape[1]
-	out := New(rows, cols)
+	if dst.Rank() != 2 || dst.Shape[0] != rows || dst.Shape[1] != cols {
+		panic(fmt.Sprintf("tensor: AddRowVectorInto destination %v, want %v", dst.Shape, t.Shape))
+	}
+	assertNoAlias("AddRowVectorInto", dst, t, v)
 	for i := 0; i < rows; i++ {
 		row := t.Data[i*cols : (i+1)*cols]
-		orow := out.Data[i*cols : (i+1)*cols]
+		orow := dst.Data[i*cols : (i+1)*cols]
 		for j, x := range row {
 			orow[j] = x + v.Data[j]
 		}
 	}
-	return out
 }
 
 // ColSums returns the per-column sums of an [r,c] tensor, the bias-gradient
@@ -169,13 +249,27 @@ func ColSums(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: ColSums requires rank 2, got %v", t.Shape))
 	}
+	out := New(t.Shape[1])
+	ColSumsInto(out, t)
+	return out
+}
+
+// ColSumsInto computes the per-column sums of an [r,c] tensor into a
+// caller-provided length-c destination, which must not alias t.
+func ColSumsInto(dst, t *Tensor) {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: ColSumsInto requires rank 2, got %v", t.Shape))
+	}
 	rows, cols := t.Shape[0], t.Shape[1]
-	out := New(cols)
+	if dst.Rank() != 1 || dst.Shape[0] != cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto destination %v, want [%d]", dst.Shape, cols))
+	}
+	assertNoAlias("ColSumsInto", dst, t)
+	dst.Zero()
 	for i := 0; i < rows; i++ {
 		row := t.Data[i*cols : (i+1)*cols]
 		for j, x := range row {
-			out.Data[j] += x
+			dst.Data[j] += x
 		}
 	}
-	return out
 }

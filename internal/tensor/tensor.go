@@ -28,14 +28,19 @@ type Tensor struct {
 
 // New returns a zero tensor with the given shape.
 func New(shape ...int) *Tensor {
+	// Copy the shape up front and never reference the parameter afterwards:
+	// referencing it in the panic below would make it "leak" under escape
+	// analysis, forcing every caller's variadic slice onto the heap — which
+	// would defeat the zero-allocation guarantee of Arena.Get hits.
+	s := append([]int(nil), shape...)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", s))
 		}
 		n *= d
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	return &Tensor{Shape: s, Data: make([]float64, n)}
 }
 
 // FromSlice wraps data in a tensor with the given shape. The data is NOT
@@ -234,10 +239,20 @@ func AxpyInPlace(alpha float64, x, y *Tensor) {
 // Apply returns f applied elementwise.
 func Apply(a *Tensor, f func(float64) float64) *Tensor {
 	out := New(a.Shape...)
-	for i := range a.Data {
-		out.Data[i] = f(a.Data[i])
-	}
+	ApplyInto(out, a, f)
 	return out
+}
+
+// ApplyInto writes f applied elementwise over a into a same-sized
+// destination, which must not alias a.
+func ApplyInto(dst, a *Tensor, f func(float64) float64) {
+	if dst.Size() != a.Size() {
+		panic(fmt.Sprintf("tensor: ApplyInto destination %v, want size of %v", dst.Shape, a.Shape))
+	}
+	assertNoAlias("ApplyInto", dst, a)
+	for i := range a.Data {
+		dst.Data[i] = f(a.Data[i])
+	}
 }
 
 // Sum returns the sum of all elements.

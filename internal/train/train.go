@@ -28,6 +28,11 @@ type Config struct {
 	MaxBatches int
 	// Rand drives shuffling (required).
 	Rand *rng.Rand
+	// NoArena disables the per-model workspace arena and batch-buffer reuse,
+	// restoring the historical allocate-per-batch path. Results are bitwise
+	// identical either way — the arena never reorders float ops — so the flag
+	// exists only for differential tests and before/after benchmarks.
+	NoArena bool
 }
 
 // Result summarizes a Fit run.
@@ -57,6 +62,17 @@ func Fit(m *nn.Model, ds *data.Dataset, cfg Config) Result {
 		opt = optim.NewAdam(0.001)
 	}
 	n := ds.N()
+	// The arena owns every per-batch buffer (activations, gradient temps,
+	// loss gradient); it is recycled after the optimizer step consumed the
+	// gradients, so a steady-state batch allocates nothing. The batch dataset
+	// itself is one reused buffer refilled by GatherInto.
+	var ar *tensor.Arena
+	var batch *data.Dataset
+	if !cfg.NoArena {
+		ar = tensor.NewArena()
+		m.SetArena(ar)
+		defer m.SetArena(nil)
+	}
 	var res Result
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := cfg.Rand.Perm(n)
@@ -67,18 +83,23 @@ func Fit(m *nn.Model, ds *data.Dataset, cfg Config) Result {
 			if hi > n {
 				hi = n
 			}
-			batch := ds.Gather(perm[lo:hi])
+			if cfg.NoArena {
+				batch = ds.Gather(perm[lo:hi])
+			} else {
+				batch = ds.GatherInto(batch, perm[lo:hi])
+			}
 			m.ZeroGrad()
 			out := m.Forward(batch.Inputs, true)
 			var loss float64
 			var grad *tensor.Tensor
 			if batch.IsClassification() {
-				loss, grad = nn.SoftmaxCrossEntropy(out, batch.YCls)
+				loss, grad = nn.SoftmaxCrossEntropyArena(ar, out, batch.YCls)
 			} else {
-				loss, grad = nn.MSELoss(out, batch.YReg)
+				loss, grad = nn.MSELossArena(ar, out, batch.YReg)
 			}
 			m.Backward(grad)
 			opt.Step(m.Params())
+			ar.Reset()
 			epochLoss += loss
 			batches++
 			res.Batches++
@@ -95,37 +116,68 @@ func Fit(m *nn.Model, ds *data.Dataset, cfg Config) Result {
 
 // Evaluate computes the benchmark metric of the model on ds: R² for
 // regression (Combo, Uno) or classification accuracy (NT3). Large datasets
-// are evaluated in chunks to bound memory.
+// are evaluated in chunks to bound memory; chunk buffers come from a
+// workspace arena recycled between chunks.
 func Evaluate(m *nn.Model, ds *data.Dataset) float64 {
+	return evaluate(m, ds, tensor.NewArena())
+}
+
+// EvaluateNoArena is Evaluate on the historical allocate-per-chunk path,
+// kept for differential tests and benchmarks; results are bitwise identical
+// to Evaluate.
+func EvaluateNoArena(m *nn.Model, ds *data.Dataset) float64 {
+	return evaluate(m, ds, nil)
+}
+
+func evaluate(m *nn.Model, ds *data.Dataset, ar *tensor.Arena) float64 {
 	const chunk = 1024
 	n := ds.N()
 	if n == 0 {
 		return 0
 	}
+	if ar != nil {
+		m.SetArena(ar)
+		defer m.SetArena(nil)
+	}
+	var part *data.Dataset
+	var idx []int
+	slice := func(lo, hi int) *data.Dataset {
+		if ar == nil {
+			return ds.Slice(lo, hi)
+		}
+		idx = idx[:0]
+		for r := lo; r < hi; r++ {
+			idx = append(idx, r)
+		}
+		part = ds.GatherInto(part, idx)
+		return part
+	}
 	if ds.IsClassification() {
 		correct := 0
 		for lo := 0; lo < n; lo += chunk {
 			hi := min(lo+chunk, n)
-			part := ds.Slice(lo, hi)
-			out := m.Predict(part.Inputs)
+			p := slice(lo, hi)
+			out := m.Predict(p.Inputs)
 			pred := tensor.ArgmaxRows(out)
-			for i, p := range pred {
-				if p == part.YCls[i] {
+			for i, pr := range pred {
+				if pr == p.YCls[i] {
 					correct++
 				}
 			}
+			ar.Reset()
 		}
 		return float64(correct) / float64(n)
 	}
 	preds := tensor.New(n, 1)
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
-		part := ds.Slice(lo, hi)
-		out := m.Predict(part.Inputs)
+		p := slice(lo, hi)
+		out := m.Predict(p.Inputs)
 		if out.Shape[1] != 1 {
 			panic(fmt.Sprintf("train: regression model output width %d, want 1", out.Shape[1]))
 		}
 		copy(preds.Data[lo:hi], out.Data)
+		ar.Reset()
 	}
 	return nn.R2(preds, ds.YReg)
 }

@@ -35,11 +35,18 @@ func tinyComboModel(r *rng.Rand, dims []int, hidden int) *nn.Model {
 
 func TestFitImprovesR2OnCombo(t *testing.T) {
 	skipSlow(t)
-	trainDS, valDS := data.GenCombo(data.ComboConfig{Seed: 1, NTrain: 800, NVal: 200, CellDim: 20, DrugDim: 30})
+	// The generalization regime matters here: the miniature 800-sample
+	// configuration this test originally used predates the harder Combo
+	// response surface (even cos interaction terms at evenScale 0.6) and a
+	// small MLP now overfits it — training loss reaches 4e-4 while
+	// validation R² goes negative. Train at the candle-scale sample count
+	// with the reward-estimation learning rate, where validation R² lands
+	// in the paper's 0.3–0.6 reward band.
+	trainDS, valDS := data.GenCombo(data.ComboConfig{Seed: 1, NTrain: 4800, NVal: 400})
 	r := rng.New(2)
 	m := tinyComboModel(r, trainDS.InputDims(), 32)
 	before := Evaluate(m, valDS)
-	res := Fit(m, trainDS, Config{Epochs: 8, BatchSize: 64, Optimizer: optim.NewAdam(0.003), Rand: r})
+	res := Fit(m, trainDS, Config{Epochs: 3, BatchSize: 32, Optimizer: optim.NewAdam(0.005), Rand: r})
 	after := Evaluate(m, valDS)
 	if after <= before {
 		t.Fatalf("training did not improve R2: before %g after %g", before, after)
@@ -50,7 +57,7 @@ func TestFitImprovesR2OnCombo(t *testing.T) {
 	if res.TimedOut {
 		t.Fatal("unexpected timeout")
 	}
-	if len(res.EpochLosses) != 8 {
+	if len(res.EpochLosses) != 3 {
 		t.Fatalf("epoch losses = %d", len(res.EpochLosses))
 	}
 	// Loss must broadly decrease.

@@ -17,8 +17,12 @@ fi
 
 go vet ./...
 go test -short ./...
+# tensor and nn are in the race list for the destination-passing kernels:
+# their row-banded parallel paths (forced via GOMAXPROCS in the tests) are
+# the only data-parallel float loops in the repo.
 go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/ \
-    ./internal/ckpt/ ./internal/ps/ ./internal/optim/ ./internal/trace/ ./internal/analytics/
+    ./internal/ckpt/ ./internal/ps/ ./internal/optim/ ./internal/trace/ ./internal/analytics/ \
+    ./internal/tensor/ ./internal/nn/
 # The evaluator trains real (scaled) networks, but its suite is small enough
 # to race-check whole — this is the only gate exercising Workers > 1
 # evaluator concurrency under the race detector.
@@ -29,16 +33,19 @@ go test -race ./internal/evaluator/
 go test -race -timeout 30m -run TestShort ./internal/search/
 
 # Coverage gate on the persistence- and concurrency-critical packages: the
-# trace codec, the checkpoint container, and the evaluator (cache + worker
-# pool) must stay thoroughly tested — a regression here can silently corrupt
-# recorded runs, checkpoint chains, or reward determinism.
+# trace codec, the checkpoint container, the evaluator (cache + worker
+# pool), and the tensor/nn hot path (destination-passing kernels + arena)
+# must stay thoroughly tested — a regression here can silently corrupt
+# recorded runs, checkpoint chains, reward determinism, or the float
+# bit-identity the arena guarantees.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
-go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/evaluator/ >/dev/null
+go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/evaluator/ \
+    ./internal/tensor/ ./internal/nn/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt+evaluator coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+evaluator+tensor+nn coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt+evaluator coverage ${total}%"
+echo "check.sh: trace+ckpt+evaluator+tensor+nn coverage ${total}%"
 echo "check.sh: OK"
