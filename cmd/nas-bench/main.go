@@ -23,14 +23,36 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"nasgo"
 	"nasgo/internal/experiments"
 	"nasgo/internal/trace"
 )
+
+// stopRequested polls for SIGINT/SIGTERM. Experiments and resume chains
+// check it at their safe boundaries — between experiments, and between
+// walltime allocations (where the checkpoint file is already rewritten) —
+// so a signal never loses completed work.
+var stopRequested func() bool
+
+func notifyStop() func() bool {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return func() bool {
+		select {
+		case s := <-sig:
+			fmt.Printf("\n%v: stopping at the next safe boundary\n", s)
+			return true
+		default:
+			return false
+		}
+	}
+}
 
 func main() {
 	var (
@@ -43,7 +65,18 @@ func main() {
 		resume   = flag.String("resume", "", "continue a search checkpoint file to completion, rewriting it at each further walltime cut (skips -exp)")
 		tracePth = flag.String("trace", "", "record the run's event trace as JSONL (only with -resume or -exp restart)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of nas-bench:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+on-signal: SIGINT/SIGTERM stops at the next safe boundary — after the
+current experiment, or (with -resume) after the current walltime allocation,
+whose checkpoint file is already rewritten; rerun with the same flags to
+continue.
+`)
+	}
 	flag.Parse()
+	stopRequested = notifyStop()
 
 	if *resume != "" {
 		resumeChain(*resume, *tracePth)
@@ -67,7 +100,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	for _, id := range ids {
+	for n, id := range ids {
+		if stopRequested() {
+			fmt.Printf("stopped before %s (%d/%d experiments done); rerun to regenerate the rest\n",
+				id, n, len(ids))
+			return
+		}
 		start := time.Now()
 		var text string
 		if id == "restart" && (*walltime > 0 || *ckptDir != "" || *tracePth != "") {
@@ -136,6 +174,10 @@ func resumeChain(path, tracePath string) {
 		}
 		fmt.Printf("allocation %d cut at %.0f virtual s: checkpoint rewritten to %s\n",
 			next.Allocations, next.Now, path)
+		if stopRequested() {
+			fmt.Printf("stopped at the allocation boundary; continue with: nas-bench -resume %s\n", path)
+			return
+		}
 		ck = next
 	}
 }

@@ -2,17 +2,19 @@
 // and prints its summary, reward trajectory, and top architectures. The
 // full trace can be saved as JSON for nas-analytics and nas-posttrain.
 //
-// With -walltime the run is bounded to one scheduler allocation of virtual
-// seconds: hitting the boundary writes a crash-consistent checkpoint and a
-// later invocation continues it with -resume, reproducing the uninterrupted
-// run bit-for-bit.
+// With -walltime the run is split into scheduler allocations of virtual
+// seconds: each boundary writes a crash-consistent checkpoint, -allocations
+// chains several in one process, and a later invocation continues with
+// -resume, reproducing the uninterrupted run bit-for-bit. SIGINT/SIGTERM
+// stops the chain at the next walltime boundary — the checkpoint is already
+// on disk, so nothing is lost.
 //
 // Examples:
 //
 //	nas-search -bench Combo -space small -strategy a3c \
 //	    -agents 8 -workers 5 -horizon 10800 -out combo-a3c.json
 //	nas-search -bench Combo -walltime 3600 -checkpoint combo.ckpt
-//	nas-search -resume combo.ckpt -checkpoint combo.ckpt
+//	nas-search -resume combo.ckpt -checkpoint combo.ckpt -allocations 0
 //	nas-search -bench Combo -trace combo.trace.jsonl -trace-chrome combo.trace.json
 package main
 
@@ -21,13 +23,34 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"nasgo"
 	"nasgo/internal/analytics"
 	"nasgo/internal/report"
 	"nasgo/internal/trace"
 )
+
+// notifyStop registers the graceful-stop signals and returns a poll
+// function: true once SIGINT or SIGTERM has arrived. Allocations are pure
+// virtual-time compute and cannot be interrupted mid-flight, so the chain
+// polls at each walltime boundary — the only cut points where the search
+// state is checkpointable.
+func notifyStop() func() bool {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return func() bool {
+		select {
+		case s := <-sig:
+			fmt.Printf("\n%v: stopping at the walltime boundary\n", s)
+			return true
+		default:
+			return false
+		}
+	}
+}
 
 func main() {
 	var (
@@ -45,10 +68,22 @@ func main() {
 		walltime  = flag.Float64("walltime", 0, "virtual seconds per allocation; 0 runs to completion in one process")
 		ckptPath  = flag.String("checkpoint", "nas-search.ckpt", "path for the checkpoint written when -walltime cuts the run")
 		resume    = flag.String("resume", "", "continue from a checkpoint written by an earlier -walltime invocation (other search flags are taken from the checkpoint)")
-		tracePath = flag.String("trace", "", "record the run's event trace as JSONL to this path (with -resume, the trace covers this allocation)")
+		allocs    = flag.Int("allocations", 1, "walltime allocations to chain in this process (0 or less: chain until the search completes); the checkpoint is rewritten at every boundary")
+		tracePath = flag.String("trace", "", "record the run's event trace as JSONL to this path (with -resume, the trace covers the chained allocations)")
 		chromeOut = flag.String("trace-chrome", "", "also write the trace in Chrome trace_event JSON (open in Perfetto or chrome://tracing)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "Usage of nas-search:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+on-signal: SIGINT/SIGTERM stops a -walltime chain at the next walltime-safe
+boundary — the checkpoint for every completed allocation is already on disk
+(atomic rename + directory fsync), so the run resumes with -resume and
+replays bit-for-bit identical to never having been interrupted.
+`)
+	}
 	flag.Parse()
+	stopping := notifyStop()
 
 	var rec *nasgo.TraceRecorder
 	if *tracePath != "" || *chromeOut != "" {
@@ -113,6 +148,22 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+		}
+	}
+
+	// Chain further allocations in-process: the checkpoint is rewritten at
+	// every boundary, so a hard kill anywhere in the chain loses at most the
+	// in-flight allocation. The chain ends at -allocations, at completion,
+	// or at the first boundary after a SIGINT/SIGTERM.
+	for ran := 1; next != nil && (*allocs <= 0 || ran < *allocs) && !stopping(); ran++ {
+		if err := next.WriteFile(*ckptPath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("allocation %d cut at %.0f virtual s: checkpoint rewritten to %s\n",
+			next.Allocations, next.Now, *ckptPath)
+		res, next, err = nasgo.ResumeSearchAllocationTraced(bench, sp, next, rec)
+		if err != nil {
+			log.Fatal(err)
 		}
 	}
 

@@ -1,0 +1,181 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// crashChildEnv tells the re-exec'd test binary to act as a nas-server
+// process instead of running the test suite.
+const crashChildEnv = "NASGO_CAMPAIGN_CRASH_DIR"
+
+// TestCrashChildMain is not a test: it is the child half of the
+// kill-and-restart pin below. Re-exec'd with crashChildEnv set, it plays a
+// full nas-server process — manager + HTTP API over the given store — and
+// serves until the parent kills it with SIGKILL.
+func TestCrashChildMain(t *testing.T) {
+	dir := os.Getenv(crashChildEnv)
+	if dir == "" {
+		t.Skip("helper process for TestShortKillRestartByteIdentical")
+	}
+	mgr, _, err := NewManager(dir, Options{})
+	if err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	mgr.Start()
+	srv := httptest.NewServer(NewServer(mgr, ServerOptions{}).Handler())
+	// Publish the listen address atomically so the parent never reads a
+	// partial write.
+	tmp := filepath.Join(dir, "addr-partial")
+	if err := os.WriteFile(tmp, []byte(srv.URL), 0o644); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		t.Fatalf("child: %v", err)
+	}
+	select {} // serve until SIGKILLed
+}
+
+// TestShortKillRestartByteIdentical is the PR's acceptance pin: a campaign
+// driven over HTTP survives repeated hard kills (SIGKILL, no shutdown
+// hooks) mid-allocation and resumes to a final log byte-identical to the
+// same (space, budget, strategy, seed) run executed uninterrupted by
+// nas-search. Durability must cost nothing in reproducibility.
+func TestShortKillRestartByteIdentical(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "" {
+		t.Skip("child process")
+	}
+	dir := t.TempDir()
+	spec := testSpec()
+	spec.Horizon = 2000 // ~20 allocations: room for several kills
+	spec.Walltime = 100
+
+	addrFile := filepath.Join(dir, "addr")
+	var child *exec.Cmd
+	spawn := func() string {
+		t.Helper()
+		os.Remove(addrFile)
+		child = exec.Command(os.Args[0], "-test.run=^TestCrashChildMain$")
+		child.Env = append(os.Environ(), crashChildEnv+"="+dir)
+		if err := child.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			if data, err := os.ReadFile(addrFile); err == nil {
+				return string(data)
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("child server never published its address")
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	kill := func() {
+		t.Helper()
+		if err := child.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+			t.Fatal(err)
+		}
+		child.Wait()
+	}
+	defer func() {
+		if child != nil && child.ProcessState == nil {
+			kill()
+		}
+	}()
+
+	getInfo := func(base, id string) Info {
+		t.Helper()
+		st, body, _ := httpDo(t, "GET", base+"/campaigns/"+id, nil)
+		if st != http.StatusOK {
+			t.Fatalf("status: %d %s", st, body)
+		}
+		var info Info
+		if err := json.Unmarshal(body, &info); err != nil {
+			t.Fatal(err)
+		}
+		return info
+	}
+	// waitAllocations blocks until the campaign has persisted at least n
+	// allocation boundaries (or finished).
+	waitAllocations := func(base, id string, n int) Info {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			info := getInfo(base, id)
+			if info.Allocations >= n || info.Status == StatusDone {
+				return info
+			}
+			if info.Status.Terminal() {
+				t.Fatalf("campaign ended %s: %s", info.Status, info.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("campaign stuck at %d allocations waiting for %d", info.Allocations, n)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Boot the first server and submit the campaign over HTTP.
+	base := spawn()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, body, _ := httpDo(t, "POST", base+"/campaigns", specJSON)
+	if st != http.StatusCreated {
+		t.Fatalf("submit: %d %s", st, body)
+	}
+	var info Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	id := info.ID
+
+	// Two hard kills, each mid-allocation: wait for a persisted boundary,
+	// then give the next allocation a moment to be genuinely in flight
+	// (allocations take ~250ms of real training on this box) before
+	// SIGKILLing the process under it.
+	progress := 0
+	for round := 0; round < 2; round++ {
+		cur := waitAllocations(base, id, progress+2)
+		if cur.Status == StatusDone {
+			t.Fatalf("campaign finished before kill round %d; shrink walltime", round)
+		}
+		progress = cur.Allocations
+		time.Sleep(80 * time.Millisecond) // land inside the next allocation
+		kill()
+		base = spawn() // restart over the same store; Start() auto-resumes
+		after := getInfo(base, id)
+		if after.Allocations < progress {
+			t.Fatalf("restart lost persisted progress: %d -> %d allocations",
+				progress, after.Allocations)
+		}
+		if after.Status != StatusRunning && after.Status != StatusDone {
+			t.Fatalf("after restart %d: %+v", round, after)
+		}
+	}
+
+	// Let the final server run the campaign to completion and serve the log.
+	final := waitAllocations(base, id, 1<<30)
+	if final.Status != StatusDone {
+		t.Fatalf("final status %+v", final)
+	}
+	st, body, _ = httpDo(t, "GET", base+"/campaigns/"+id+"/log", nil)
+	if st != http.StatusOK {
+		t.Fatalf("log: %d %s", st, body)
+	}
+	kill()
+
+	want := logBytes(t, referenceRun(t, spec))
+	if !bytes.Equal(bytes.TrimRight(body, "\n"), want) {
+		t.Fatal("log after 2 hard kills differs from the uninterrupted nas-search run")
+	}
+}

@@ -1,0 +1,59 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSpec throws arbitrary bytes at the strict campaign-spec
+// decoder — the one parser directly exposed to untrusted HTTP clients. It
+// must never panic; anything it accepts must validate, re-encode, and
+// re-decode to the identical spec (the property that makes a persisted
+// meta record replayable).
+func FuzzDecodeSpec(f *testing.F) {
+	valid, err := json.Marshal(testSpec())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{"bench":"Combo","horizon":400}`))
+	f.Add([]byte(`{"bench":"Uno","space":"large","strategy":"evo","horizon":3600,"walltime":900,"seed":1234,"fidelity":0.25,"evalWorkers":4}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[{"bench":"Combo"}]`))
+	f.Add([]byte(`{"bench":"Combo","horizon":400,"bogus":true}`))
+	f.Add([]byte(`{"bench":"Combo","horizon":400} trailing`))
+	f.Add([]byte(`{"bench":"Combo","horizon":1e999}`))
+	f.Add([]byte(`{"bench":"Combo","horizon":400,"seed":-1}`))
+	f.Add([]byte(`{"bench":"Combo","horizon":"400"}`))
+	f.Add([]byte("{\"bench\":\"\x00\",\"horizon\":400}"))
+	f.Add([]byte(`{"bench":"Combo","horizon":400,"walltime":` + strings.Repeat("9", 400) + `}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := DecodeSpec(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("DecodeSpec accepted a spec that fails Validate: %v\ninput: %q", verr, data)
+		}
+		reenc, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		again, err := DecodeSpec(bytes.NewReader(reenc))
+		if err != nil {
+			t.Fatalf("re-encoded spec rejected: %v\n%s", err, reenc)
+		}
+		if *again != *spec {
+			t.Fatalf("spec round trip changed: %+v vs %+v", *again, *spec)
+		}
+		if cfg := spec.SearchConfig(); cfg.Validate() != nil {
+			t.Fatalf("accepted spec maps to invalid search config: %+v", cfg)
+		}
+	})
+}

@@ -1,0 +1,256 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nasgo/internal/ckpt"
+	"nasgo/internal/search"
+)
+
+// Status is a campaign's lifecycle state. Transitions:
+//
+//	RUNNING ──boundary──▶ RUNNING (checkpoint persisted)
+//	RUNNING ──pause────▶ PAUSED ──resume──▶ RUNNING
+//	RUNNING ──cancel───▶ CANCELLED            (terminal)
+//	RUNNING ──drained──▶ RUNNING              (resumes on next Open)
+//	RUNNING ──panic×N──▶ FAILED               (terminal, error recorded)
+//	RUNNING ──complete─▶ DONE                 (terminal, log persisted)
+type Status string
+
+const (
+	StatusRunning   Status = "running"
+	StatusPaused    Status = "paused"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status accepts no further transitions.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Meta is the durable per-campaign record. It is small and rewritten
+// whole at every state change through the same atomic checksummed
+// container as search checkpoints, so a reader observes either the
+// previous consistent state or the next, never a torn one.
+type Meta struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// Status is the supervisor state the campaign should resume into
+	// after a process restart: RUNNING campaigns are relaunched, PAUSED
+	// ones wait, terminal ones only serve reads.
+	Status Status `json:"status"`
+	// Error is the recorded failure for FAILED campaigns, and the most
+	// recent recovered panic for RUNNING ones (empty when healthy).
+	Error string `json:"error,omitempty"`
+	// Restarts counts supervisor restarts after panics over the
+	// campaign's lifetime.
+	Restarts int `json:"restarts,omitempty"`
+	// Allocations counts walltime allocations whose checkpoint has been
+	// persisted; the in-flight allocation is by design not counted.
+	Allocations int `json:"allocations"`
+}
+
+// Store file names inside each campaign directory, and the meta container
+// framing (see internal/ckpt for the layout).
+const (
+	metaFile  = "meta.nascam"
+	ckptFile  = "search.ckpt"
+	logFile   = "log.json"
+	metaMagic = "nasgocam"
+	metaVer   = 1
+)
+
+// Store is the crash-consistent campaign directory: one subdirectory per
+// campaign holding its meta record, latest search checkpoint, and final
+// log. All writes go through internal/ckpt's atomic rename + directory
+// fsync, so a kill at any byte leaves every campaign readable. Store does
+// no locking; the Manager serializes access per campaign.
+type Store struct {
+	root string
+}
+
+// OpenStore opens (creating if needed) the campaign store rooted at dir
+// and runs crash janitoring: stale temp files from interrupted atomic
+// writes are removed. Campaign directories whose meta record is missing or
+// corrupt are left on disk but excluded from List, each reported in the
+// returned quarantined slice — robustness means a damaged campaign can
+// never prevent the service from starting.
+func OpenStore(dir string) (st *Store, quarantined []string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("campaign: create store %s: %w", dir, err)
+	}
+	s := &Store{root: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: read store %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		cdir := filepath.Join(dir, e.Name())
+		files, err := os.ReadDir(cdir)
+		if err != nil {
+			quarantined = append(quarantined, e.Name())
+			continue
+		}
+		for _, f := range files {
+			if strings.Contains(f.Name(), ".tmp") {
+				os.Remove(filepath.Join(cdir, f.Name()))
+			}
+		}
+		if _, err := s.LoadMeta(e.Name()); err != nil {
+			quarantined = append(quarantined, e.Name())
+		}
+	}
+	sort.Strings(quarantined)
+	return s, quarantined, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// NextID returns the smallest unused sequential campaign ID. IDs are
+// stable across restarts because they are derived from the directories on
+// disk, never from in-memory counters.
+func (s *Store) NextID() (string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return "", fmt.Errorf("campaign: read store: %w", err)
+	}
+	max := 0
+	for _, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "c%08d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return fmt.Sprintf("c%08d", max+1), nil
+}
+
+// Create allocates a campaign directory for meta.ID and persists the meta
+// record. The directory is fsynced into the store root before the meta
+// write, so a crash between the two leaves an empty quarantined directory,
+// never a half-registered campaign.
+func (s *Store) Create(meta Meta) error {
+	if meta.ID == "" {
+		return fmt.Errorf("campaign: create with empty ID")
+	}
+	cdir := filepath.Join(s.root, meta.ID)
+	if _, err := os.Stat(cdir); err == nil {
+		return fmt.Errorf("campaign: %s already exists", meta.ID)
+	}
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return fmt.Errorf("campaign: create dir for %s: %w", meta.ID, err)
+	}
+	if err := ckpt.SyncDir(s.root); err != nil {
+		return err
+	}
+	return s.SaveMeta(meta)
+}
+
+// SaveMeta atomically rewrites a campaign's meta record.
+func (s *Store) SaveMeta(meta Meta) error {
+	payload, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal meta %s: %w", meta.ID, err)
+	}
+	return ckpt.WriteFile(filepath.Join(s.root, meta.ID, metaFile), metaMagic, metaVer, payload)
+}
+
+// LoadMeta reads and validates a campaign's meta record.
+func (s *Store) LoadMeta(id string) (Meta, error) {
+	payload, _, err := ckpt.ReadFile(filepath.Join(s.root, id, metaFile), metaMagic, metaVer)
+	if err != nil {
+		return Meta{}, err
+	}
+	var m Meta
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Meta{}, fmt.Errorf("campaign: decode meta %s: %w", id, err)
+	}
+	if m.ID != id {
+		return Meta{}, fmt.Errorf("campaign: meta in %s names campaign %q", id, m.ID)
+	}
+	switch m.Status {
+	case StatusRunning, StatusPaused, StatusDone, StatusFailed, StatusCancelled:
+	default:
+		return Meta{}, fmt.Errorf("campaign: meta %s has unknown status %q", id, m.Status)
+	}
+	if err := m.Spec.Validate(); err != nil {
+		return Meta{}, fmt.Errorf("campaign: meta %s: %w", id, err)
+	}
+	return m, nil
+}
+
+// List returns every campaign with a readable meta record, ID-sorted.
+func (s *Store) List() ([]Meta, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read store: %w", err)
+	}
+	var out []Meta
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := s.LoadMeta(e.Name())
+		if err != nil {
+			continue // quarantined at open; stays invisible
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// SaveCheckpoint persists the campaign's latest search checkpoint — the
+// resume point a process restart loses at most one allocation relative to.
+func (s *Store) SaveCheckpoint(id string, ck *search.Checkpoint) error {
+	return ck.WriteFile(filepath.Join(s.root, id, ckptFile))
+}
+
+// LoadCheckpoint loads the campaign's latest checkpoint; ok is false if no
+// checkpoint has been persisted yet (the campaign restarts from scratch —
+// only its first allocation of work is lost).
+func (s *Store) LoadCheckpoint(id string) (*search.Checkpoint, bool, error) {
+	path := filepath.Join(s.root, id, ckptFile)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	ck, err := search.LoadCheckpoint(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return ck, true, nil
+}
+
+// SaveLog persists a completed campaign's final search log.
+func (s *Store) SaveLog(id string, log *search.Log) error {
+	return log.WriteJSON(filepath.Join(s.root, id, logFile))
+}
+
+// LogPath returns the path of the campaign's final log file.
+func (s *Store) LogPath(id string) string {
+	return filepath.Join(s.root, id, logFile)
+}
+
+// LoadLog loads a completed campaign's final log; ok is false when the
+// campaign has not completed.
+func (s *Store) LoadLog(id string) (*search.Log, bool, error) {
+	path := s.LogPath(id)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	log, err := search.LoadLog(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return log, true, nil
+}

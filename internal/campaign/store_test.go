@@ -1,0 +1,186 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nasgo/internal/candle"
+	"nasgo/internal/search"
+	"nasgo/internal/space"
+)
+
+func openStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, quarantined, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("unexpected quarantined campaigns: %v", quarantined)
+	}
+	return st
+}
+
+func TestStoreMetaRoundTrip(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	id, err := st.NextID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "c00000001" {
+		t.Fatalf("first ID %q", id)
+	}
+	meta := Meta{ID: id, Spec: testSpec(), Status: StatusRunning}
+	if err := st.Create(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != meta.Spec || got.Status != StatusRunning {
+		t.Fatalf("loaded %+v", got)
+	}
+	// IDs advance past existing campaigns even across reopen.
+	st2 := openStore(t, st.Root())
+	if next, _ := st2.NextID(); next != "c00000002" {
+		t.Fatalf("next ID after reopen %q", next)
+	}
+	// Double-create is rejected.
+	if err := st.Create(meta); err == nil {
+		t.Fatal("duplicate Create succeeded")
+	}
+	// Status flips persist.
+	meta.Status = StatusPaused
+	meta.Restarts = 2
+	if err := st.SaveMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err = st.LoadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusPaused || got.Restarts != 2 {
+		t.Fatalf("after SaveMeta: %+v", got)
+	}
+}
+
+func TestStoreQuarantinesCorruptMeta(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	good := Meta{ID: "c00000001", Spec: testSpec(), Status: StatusRunning}
+	if err := st.Create(good); err != nil {
+		t.Fatal(err)
+	}
+	// A campaign directory with a torn/garbage meta record must not
+	// prevent the store from opening, and must not appear in List.
+	bad := filepath.Join(dir, "c00000002")
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, metaFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Leftover temp files from a killed atomic write are janitored away.
+	tmp := filepath.Join(dir, "c00000001", metaFile+".tmp12345")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, quarantined, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "c00000002" {
+		t.Fatalf("quarantined = %v, want [c00000002]", quarantined)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("stale temp file survived janitoring")
+	}
+	metas, err := st2.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].ID != "c00000001" {
+		t.Fatalf("List = %+v", metas)
+	}
+	// The quarantined directory is preserved for inspection, and its ID
+	// is never reissued.
+	if next, _ := st2.NextID(); next != "c00000003" {
+		t.Fatalf("next ID %q, want c00000003", next)
+	}
+}
+
+func TestStoreMetaIDMismatchRejected(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	if err := st.Create(Meta{ID: "c00000001", Spec: testSpec(), Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	// Copy the meta file into a differently named directory: the embedded
+	// ID check catches the inconsistency.
+	src := filepath.Join(st.Root(), "c00000001", metaFile)
+	dst := filepath.Join(st.Root(), "c00000009")
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dst, metaFile), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadMeta("c00000009"); err == nil {
+		t.Fatal("meta with mismatched ID accepted")
+	}
+}
+
+func TestStoreCheckpointAndLog(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	id := "c00000001"
+	if err := st.Create(Meta{ID: id, Spec: testSpec(), Status: StatusRunning}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.LoadCheckpoint(id); err != nil || ok {
+		t.Fatalf("empty campaign: checkpoint ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := st.LoadLog(id); err != nil || ok {
+		t.Fatalf("empty campaign: log ok=%v err=%v", ok, err)
+	}
+	// Produce one real cut and persist it through the store.
+	spec := testSpec()
+	bench, sp, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ck, err := search.RunAllocation(bench, sp, spec.SearchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck == nil {
+		t.Fatal("test spec completed inside one allocation; shrink walltime")
+	}
+	if err := st.SaveCheckpoint(id, ck); err != nil {
+		t.Fatal(err)
+	}
+	loaded, ok, err := st.LoadCheckpoint(id)
+	if err != nil || !ok {
+		t.Fatalf("reload checkpoint: ok=%v err=%v", ok, err)
+	}
+	if loaded.Allocations != ck.Allocations || loaded.Now != ck.Now {
+		t.Fatalf("checkpoint round trip: %d/%g vs %d/%g",
+			loaded.Allocations, loaded.Now, ck.Allocations, ck.Now)
+	}
+	// Run the search to completion and persist its final log.
+	log := search.Run(candle.NewCombo(candle.Config{Seed: spec.Seed}), space.NewComboSmall(), spec.SearchConfig())
+	if err := st.SaveLog(id, log); err != nil {
+		t.Fatal(err)
+	}
+	gotLog, ok, err := st.LoadLog(id)
+	if err != nil || !ok {
+		t.Fatalf("reload log: ok=%v err=%v", ok, err)
+	}
+	if len(gotLog.Results) != len(log.Results) {
+		t.Fatalf("log round trip lost results: %d vs %d", len(gotLog.Results), len(log.Results))
+	}
+}

@@ -62,6 +62,23 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 		return fmt.Errorf("ckpt: rename into %s: %w", path, err)
 	}
 	tmpName = "" // renamed away; nothing to clean up
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory, making a preceding rename in it durable: on
+// POSIX filesystems the rename itself lives in the directory, so a file
+// synced and renamed into place can still vanish on power loss until the
+// directory is synced too. AtomicWrite calls this after its rename;
+// callers that move files around by hand should do the same.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("ckpt: open dir %s for sync: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync dir %s: %w", dir, err)
+	}
 	return nil
 }
 

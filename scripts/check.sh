@@ -31,21 +31,27 @@ go test -race ./internal/evaluator/
 # overhead on a 1-core box this line alone runs ~10 min, so raise go test's
 # default 10-minute package timeout.
 go test -race -timeout 30m -run TestShort ./internal/search/
+# The campaign service multiplexes runner goroutines, HTTP handlers, and
+# the supervisor over shared state; its suite (concurrent submits, panic
+# restarts, kill -9 re-exec children) runs whole under the race detector.
+go test -race -timeout 30m ./internal/campaign/
 
 # Coverage gate on the persistence- and concurrency-critical packages: the
 # trace codec, the checkpoint container, the evaluator (cache + worker
-# pool), and the tensor/nn hot path (destination-passing kernels + arena)
+# pool), the tensor/nn hot path (destination-passing kernels + arena), and
+# the campaign service (crash-consistent store + supervisor + HTTP edge)
 # must stay thoroughly tested — a regression here can silently corrupt
-# recorded runs, checkpoint chains, reward determinism, or the float
-# bit-identity the arena guarantees.
+# recorded runs, checkpoint chains, reward determinism, the float
+# bit-identity the arena guarantees, or the kill-anywhere durability the
+# campaign server promises.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/evaluator/ \
-    ./internal/tensor/ ./internal/nn/ >/dev/null
+    ./internal/tensor/ ./internal/nn/ ./internal/campaign/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt+evaluator+tensor+nn coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+evaluator+tensor+nn+campaign coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt+evaluator+tensor+nn coverage ${total}%"
+echo "check.sh: trace+ckpt+evaluator+tensor+nn+campaign coverage ${total}%"
 echo "check.sh: OK"
