@@ -10,6 +10,7 @@
 //	nas-bench -exp restart -trace results/restart.trace.jsonl
 //	nas-bench -exp workers -workers 0  # time the evaluator pool at GOMAXPROCS
 //	nas-bench -resume results/ckpt/alloc-001.ckpt -trace resumed.trace.jsonl
+//	nas-bench -torture -scale quick  # power-cut every fs op of a campaign
 //
 // Search runs are memoized in-process, so "-exp all" shares runs between
 // figures exactly as the paper's campaign did. The restart experiment
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"nasgo"
+	"nasgo/internal/campaign"
 	"nasgo/internal/experiments"
 	"nasgo/internal/trace"
 )
@@ -64,6 +67,7 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "restart experiment: keep the chain's checkpoint files in this directory")
 		resume   = flag.String("resume", "", "continue a search checkpoint file to completion, rewriting it at each further walltime cut (skips -exp)")
 		tracePth = flag.String("trace", "", "record the run's event trace as JSONL (only with -resume or -exp restart)")
+		torture  = flag.Bool("torture", false, "crash-point torture: simulate a power cut at every mutating filesystem op of a campaign, honest and fsync-lying, and verify recovery (skips -exp)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "Usage of nas-bench:\n")
@@ -78,6 +82,10 @@ continue.
 	flag.Parse()
 	stopRequested = notifyStop()
 
+	if *torture {
+		runTorture(*scale, *out)
+		return
+	}
 	if *resume != "" {
 		resumeChain(*resume, *tracePth)
 		return
@@ -129,6 +137,76 @@ continue.
 				log.Fatal(err)
 			}
 		}
+	}
+}
+
+// runTorture enumerates a simulated power cut at every mutating filesystem
+// operation of a small deterministic campaign (DESIGN.md §13): record the
+// campaign once over the in-memory filesystem, replay its operation tape
+// into a cut at each index, reopen the surviving bytes, and resume —
+// asserting old-or-new recovery and a byte-identical final log at every
+// point, then repeating the sweep with fsync-lying storage. The report is
+// written to <out>/torture.txt; any violated invariant is fatal.
+func runTorture(scale, out string) {
+	spec := campaign.Spec{
+		Bench:         "Combo",
+		Strategy:      "a2c",
+		Agents:        2,
+		Workers:       2,
+		Horizon:       400,
+		Walltime:      100,
+		Seed:          99,
+		RealEpochs:    1,
+		RealBatchSize: 64,
+	}
+	// Larger presets stretch the walltime chain (more allocations = more
+	// crash points); the per-allocation work stays scaled-down.
+	switch scale {
+	case "default":
+		spec.Horizon = 800
+	case "paper":
+		spec.Horizon = 1600
+	}
+	start := time.Now()
+	rep, err := campaign.TortureCampaign(spec, campaign.TortureOptions{
+		Opts: campaign.Options{
+			BackoffBase: time.Millisecond,
+			BackoffCap:  4 * time.Millisecond,
+			Logf:        log.Printf,
+		},
+		Lies: true,
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("torture: invariant violated: %v", err)
+	}
+	repJSON, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	text := fmt.Sprintf(`crash-point torture: all invariants held (scale=%s, %s)
+
+%d-op tape, %d crash points enumerated twice (honest + fsync-lying disk).
+Every cut left a store that reopened with committed state intact, and every
+resume replayed to a final log byte-identical to the uninterrupted run.
+%d distinct surviving images (%d live resumes, the rest memoized);
+%d cuts predate the first durable meta; %d lying-disk cuts were detected
+and rejected, %d still resumed identically.
+
+%s
+`, scale, time.Since(start).Round(time.Second),
+		rep.TapeLen, rep.CrashPoints, rep.DistinctImages, rep.LiveResumes,
+		rep.EmptyStores, rep.LieUnreadable, rep.LieResumed, repJSON)
+	fmt.Print(text)
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(out, "torture.txt")
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", path)
 	}
 }
 

@@ -1,13 +1,17 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"nasgo/internal/candle"
+	"nasgo/internal/ckpt"
+	"nasgo/internal/fsim"
 	"nasgo/internal/search"
 	"nasgo/internal/space"
 	"nasgo/internal/trace"
@@ -34,6 +38,10 @@ type Options struct {
 	TraceKeep     int
 	// Logf receives supervisor lifecycle messages (nil discards them).
 	Logf func(format string, args ...any)
+	// FS is the filesystem the store writes through (default fsim.OS).
+	// The fault-torture tests inject a fsim.FaultFS or fsim.MemFS here;
+	// production always runs the passthrough.
+	FS fsim.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +59,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.FS == nil {
+		o.FS = fsim.OS
 	}
 	return o
 }
@@ -166,6 +177,9 @@ var (
 	ErrNotFound = fmt.Errorf("campaign: not found")
 	ErrConflict = fmt.Errorf("campaign: conflicting state")
 	ErrDraining = fmt.Errorf("campaign: server is draining")
+	// ErrNoSpace rejects submissions while the store's disk is full (HTTP
+	// 507); running campaigns pause at their walltime boundary instead.
+	ErrNoSpace = fmt.Errorf("campaign: storage full")
 )
 
 // Manager supervises every hosted campaign: it owns the store, one runner
@@ -178,6 +192,10 @@ type Manager struct {
 	mu        sync.Mutex
 	campaigns map[string]*runtime
 	draining  bool
+	// diskFull latches when a store write fails with ENOSPC and clears on
+	// the next successful store write. While set, Submit is rejected with
+	// ErrNoSpace and Health reports the degradation.
+	diskFull bool
 
 	wg    sync.WaitGroup
 	ready chan struct{}
@@ -193,13 +211,14 @@ type Manager struct {
 // without starting any runner. Quarantined directory names (unreadable
 // meta) are returned for the caller to report.
 func NewManager(dir string, opts Options) (*Manager, []string, error) {
-	store, quarantined, err := OpenStore(dir)
+	opts = opts.withDefaults()
+	store, quarantined, err := OpenStoreFS(opts.FS, dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	m := &Manager{
 		store:     store,
-		opts:      opts.withDefaults(),
+		opts:      opts,
 		campaigns: map[string]*runtime{},
 		ready:     make(chan struct{}),
 		done:      make(chan struct{}),
@@ -266,6 +285,9 @@ func (m *Manager) Submit(spec *Spec) (Info, error) {
 	if m.draining {
 		return Info{}, ErrDraining
 	}
+	if m.diskFull {
+		return Info{}, ErrNoSpace
+	}
 	id, err := m.store.NextID()
 	if err != nil {
 		return Info{}, err
@@ -308,6 +330,51 @@ func (m *Manager) List() []Info {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// Health is the service-level condition snapshot served by healthz.
+type Health struct {
+	// Status is "ok" while storage is healthy, "degraded" once a store
+	// write has failed with ENOSPC and no write has succeeded since.
+	Status string `json:"status"`
+	// DiskFull mirrors the manager's ENOSPC latch.
+	DiskFull bool `json:"diskFull"`
+	// Draining reports a shutdown in progress.
+	Draining bool `json:"draining"`
+	// Campaigns counts hosted campaigns, Running the active runners.
+	Campaigns int `json:"campaigns"`
+	Running   int `json:"running"`
+}
+
+// Health returns the service condition: storage state, drain state, and
+// runner counts.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{Status: "ok", DiskFull: m.diskFull, Draining: m.draining, Campaigns: len(m.campaigns)}
+	if m.diskFull {
+		h.Status = "degraded"
+	}
+	for _, rt := range m.campaigns {
+		if rt.running {
+			h.Running++
+		}
+	}
+	return h
+}
+
+// noteStoreWrite maintains the diskFull latch from a store-write outcome.
+func (m *Manager) noteStoreWrite(err error) {
+	full := errors.Is(err, syscall.ENOSPC)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if full && !m.diskFull {
+		m.diskFull = true
+		m.opts.Logf("store: disk full; rejecting submissions until a write succeeds")
+	} else if err == nil && m.diskFull {
+		m.diskFull = false
+		m.opts.Logf("store: disk recovered; accepting submissions again")
+	}
 }
 
 // Leaderboard ranks campaigns by best reward (ties by ID).
@@ -554,6 +621,14 @@ func (m *Manager) runCampaign(rt *runtime) {
 
 		finished, err := m.runAllocationStep(rt)
 		if err != nil {
+			if errors.Is(err, syscall.ENOSPC) {
+				// Full disk: the allocation's work cannot be persisted, so
+				// burning restarts cannot help. Pause at this boundary with
+				// state intact; a later Resume (after space is freed) re-runs
+				// the unpersisted allocation from the last durable checkpoint.
+				m.pauseNoSpace(rt, err)
+				return
+			}
 			if !m.backoffRestart(rt, err) {
 				return
 			}
@@ -618,11 +693,14 @@ func (m *Manager) runAllocationStep(rt *runtime) (finished bool, err error) {
 	id := rt.meta.ID
 	if next != nil {
 		if err := m.store.SaveCheckpoint(id, next); err != nil {
+			m.noteStoreWrite(err)
 			return false, err
 		}
 	} else if err := m.store.SaveLog(id, log); err != nil {
+		m.noteStoreWrite(err)
 		return false, err
 	}
+	m.noteStoreWrite(nil)
 	evs, cursor := rt.rec.EventsSince(rt.recCursor)
 	rt.recCursor = cursor
 
@@ -647,9 +725,14 @@ func (m *Manager) runAllocationStep(rt *runtime) (finished bool, err error) {
 // campaign in FAILED once it exhausts MaxRestarts consecutive attempts,
 // otherwise sleep the capped exponential backoff (interruptible by
 // cancel/drain) and rebuild the runner from the last persisted checkpoint.
-// Returns false when the runner goroutine should exit.
+// Transient I/O errors (EIO; see ckpt.IsTransient) never park: a flaky
+// device is an environment condition, not a campaign defect, so the
+// supervisor keeps retrying at the backoff cap until the device recovers
+// or an operator cancels. Returns false when the runner goroutine should
+// exit.
 func (m *Manager) backoffRestart(rt *runtime, cause error) bool {
 	id := rt.meta.ID
+	transient := ckpt.IsTransient(cause)
 	m.mu.Lock()
 	rt.consecutive++
 	rt.meta.Restarts++
@@ -657,7 +740,7 @@ func (m *Manager) backoffRestart(rt *runtime, cause error) bool {
 	attempt := rt.consecutive
 	m.saveMetaLocked(rt)
 	m.mu.Unlock()
-	if attempt > m.opts.MaxRestarts {
+	if attempt > m.opts.MaxRestarts && !transient {
 		m.park(rt, fmt.Sprintf("gave up after %d consecutive restarts: %v", attempt-1, cause))
 		return false
 	}
@@ -671,14 +754,38 @@ func (m *Manager) backoffRestart(rt *runtime, cause error) bool {
 	}
 	// Discard the possibly-inconsistent in-memory search state and
 	// restart from the last persisted checkpoint — exactly what a process
-	// restart would do.
-	ck, ok, err := m.store.LoadCheckpoint(id)
-	if err != nil {
-		m.park(rt, fmt.Sprintf("reload checkpoint: %v", err))
-		return false
-	}
-	if !ok {
-		ck = nil
+	// restart would do. A transient reload failure retries on the same
+	// backoff schedule (interruptible, so drains and cancels still land);
+	// corruption parks, as no retry can repair bytes.
+	var ck *search.Checkpoint
+	for reloadAttempt := attempt; ; reloadAttempt++ {
+		loaded, ok, err := m.store.LoadCheckpoint(id)
+		if err == nil {
+			if ok {
+				ck = loaded
+			}
+			break
+		}
+		if !ckpt.IsTransient(err) {
+			m.park(rt, fmt.Sprintf("reload checkpoint: %v", err))
+			return false
+		}
+		m.mu.Lock()
+		interrupted := m.draining || rt.want != ctlNone
+		m.mu.Unlock()
+		if interrupted {
+			// Keep the last successfully persisted checkpoint (the only
+			// value rt.ck ever holds — it matches the disk); the boundary
+			// check applies the pending control before another allocation.
+			ck = rt.ck
+			break
+		}
+		delay := m.opts.Backoff(reloadAttempt)
+		m.opts.Logf("campaign %s: reload checkpoint: %v — retry in %v", id, err, delay)
+		select {
+		case <-time.After(delay):
+		case <-rt.wake:
+		}
 	}
 	rt.ck = ck
 	// prepareRunner resets the recorder; the trace stream accumulated up
@@ -689,6 +796,23 @@ func (m *Manager) backoffRestart(rt *runtime, cause error) bool {
 		return false
 	}
 	return true
+}
+
+// pauseNoSpace stops a runner whose boundary persistence hit a full disk:
+// the campaign parks in PAUSED (not FAILED — nothing is wrong with it),
+// the manager latches diskFull, and the meta write is best-effort (the
+// disk is full; the on-disk record may stay RUNNING, in which case a
+// process restart re-runs the lost allocation from the last durable
+// checkpoint and converges — the checkpoint, not meta, is the authority).
+func (m *Manager) pauseNoSpace(rt *runtime, cause error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.diskFull = true
+	rt.meta.Status = StatusPaused
+	rt.meta.Error = fmt.Sprintf("storage full: %v", cause)
+	m.saveMetaLocked(rt)
+	rt.running = false
+	m.opts.Logf("campaign %s: paused at allocation %d: storage full", rt.meta.ID, rt.meta.Allocations)
 }
 
 // park moves a campaign to FAILED with the given error. Sibling campaigns

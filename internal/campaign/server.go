@@ -70,7 +70,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /campaigns/{id}/cancel", s.action((*Manager).Cancel))
 	mux.HandleFunc("GET /leaderboard", s.handleLeaderboard)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		// Liveness stays 200 even when degraded — the process is healthy,
+		// the storage is not; the body says which.
+		writeJSON(w, http.StatusOK, s.mgr.Health())
 	})
 	// TimeoutHandler buffers responses, which is fine here: every payload
 	// is bounded (specs by MaxBodyBytes, traces by Options.TraceKeep and
@@ -93,7 +95,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeErr maps manager errors onto HTTP statuses: unknown IDs are 404,
-// state conflicts 409, validation failures 422, drain 503.
+// state conflicts 409, validation failures 422, drain 503, full disk 507.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusUnprocessableEntity
 	switch {
@@ -103,6 +105,8 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, ErrDraining):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoSpace):
+		status = http.StatusInsufficientStorage
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }

@@ -2,13 +2,15 @@ package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"nasgo/internal/ckpt"
+	"nasgo/internal/fsim"
 	"nasgo/internal/search"
 )
 
@@ -16,6 +18,8 @@ import (
 //
 //	RUNNING ──boundary──▶ RUNNING (checkpoint persisted)
 //	RUNNING ──pause────▶ PAUSED ──resume──▶ RUNNING
+//	RUNNING ──disk full▶ PAUSED               (ENOSPC persisting state;
+//	                                           resume after freeing space)
 //	RUNNING ──cancel───▶ CANCELLED            (terminal)
 //	RUNNING ──drained──▶ RUNNING              (resumes on next Open)
 //	RUNNING ──panic×N──▶ FAILED               (terminal, error recorded)
@@ -74,6 +78,7 @@ const (
 // no locking; the Manager serializes access per campaign.
 type Store struct {
 	root string
+	fsys fsim.FS
 }
 
 // OpenStore opens (creating if needed) the campaign store rooted at dir
@@ -83,11 +88,17 @@ type Store struct {
 // returned quarantined slice — robustness means a damaged campaign can
 // never prevent the service from starting.
 func OpenStore(dir string) (st *Store, quarantined []string, err error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenStoreFS(fsim.OS, dir)
+}
+
+// OpenStoreFS is OpenStore through an explicit filesystem — the injection
+// point the fault-torture harness uses to crash and corrupt a store.
+func OpenStoreFS(fsys fsim.FS, dir string) (st *Store, quarantined []string, err error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("campaign: create store %s: %w", dir, err)
 	}
-	s := &Store{root: dir}
-	entries, err := os.ReadDir(dir)
+	s := &Store{root: dir, fsys: fsys}
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: read store %s: %w", dir, err)
 	}
@@ -96,14 +107,14 @@ func OpenStore(dir string) (st *Store, quarantined []string, err error) {
 			continue
 		}
 		cdir := filepath.Join(dir, e.Name())
-		files, err := os.ReadDir(cdir)
+		files, err := fsys.ReadDir(cdir)
 		if err != nil {
 			quarantined = append(quarantined, e.Name())
 			continue
 		}
 		for _, f := range files {
 			if strings.Contains(f.Name(), ".tmp") {
-				os.Remove(filepath.Join(cdir, f.Name()))
+				fsys.Remove(filepath.Join(cdir, f.Name()))
 			}
 		}
 		if _, err := s.LoadMeta(e.Name()); err != nil {
@@ -117,11 +128,14 @@ func OpenStore(dir string) (st *Store, quarantined []string, err error) {
 // Root returns the store's root directory.
 func (s *Store) Root() string { return s.root }
 
+// FS returns the filesystem the store writes through.
+func (s *Store) FS() fsim.FS { return s.fsys }
+
 // NextID returns the smallest unused sequential campaign ID. IDs are
 // stable across restarts because they are derived from the directories on
 // disk, never from in-memory counters.
 func (s *Store) NextID() (string, error) {
-	entries, err := os.ReadDir(s.root)
+	entries, err := s.fsys.ReadDir(s.root)
 	if err != nil {
 		return "", fmt.Errorf("campaign: read store: %w", err)
 	}
@@ -144,13 +158,13 @@ func (s *Store) Create(meta Meta) error {
 		return fmt.Errorf("campaign: create with empty ID")
 	}
 	cdir := filepath.Join(s.root, meta.ID)
-	if _, err := os.Stat(cdir); err == nil {
+	if _, err := s.fsys.Stat(cdir); err == nil {
 		return fmt.Errorf("campaign: %s already exists", meta.ID)
 	}
-	if err := os.MkdirAll(cdir, 0o755); err != nil {
+	if err := s.fsys.MkdirAll(cdir, 0o755); err != nil {
 		return fmt.Errorf("campaign: create dir for %s: %w", meta.ID, err)
 	}
-	if err := ckpt.SyncDir(s.root); err != nil {
+	if err := ckpt.SyncDirFS(s.fsys, s.root); err != nil {
 		return err
 	}
 	return s.SaveMeta(meta)
@@ -162,12 +176,12 @@ func (s *Store) SaveMeta(meta Meta) error {
 	if err != nil {
 		return fmt.Errorf("campaign: marshal meta %s: %w", meta.ID, err)
 	}
-	return ckpt.WriteFile(filepath.Join(s.root, meta.ID, metaFile), metaMagic, metaVer, payload)
+	return ckpt.WriteFileFS(s.fsys, filepath.Join(s.root, meta.ID, metaFile), metaMagic, metaVer, payload)
 }
 
 // LoadMeta reads and validates a campaign's meta record.
 func (s *Store) LoadMeta(id string) (Meta, error) {
-	payload, _, err := ckpt.ReadFile(filepath.Join(s.root, id, metaFile), metaMagic, metaVer)
+	payload, _, err := ckpt.ReadFileFS(s.fsys, filepath.Join(s.root, id, metaFile), metaMagic, metaVer)
 	if err != nil {
 		return Meta{}, err
 	}
@@ -191,7 +205,7 @@ func (s *Store) LoadMeta(id string) (Meta, error) {
 
 // List returns every campaign with a readable meta record, ID-sorted.
 func (s *Store) List() ([]Meta, error) {
-	entries, err := os.ReadDir(s.root)
+	entries, err := s.fsys.ReadDir(s.root)
 	if err != nil {
 		return nil, fmt.Errorf("campaign: read store: %w", err)
 	}
@@ -213,7 +227,7 @@ func (s *Store) List() ([]Meta, error) {
 // SaveCheckpoint persists the campaign's latest search checkpoint — the
 // resume point a process restart loses at most one allocation relative to.
 func (s *Store) SaveCheckpoint(id string, ck *search.Checkpoint) error {
-	return ck.WriteFile(filepath.Join(s.root, id, ckptFile))
+	return ck.WriteFileFS(s.fsys, filepath.Join(s.root, id, ckptFile))
 }
 
 // LoadCheckpoint loads the campaign's latest checkpoint; ok is false if no
@@ -221,10 +235,10 @@ func (s *Store) SaveCheckpoint(id string, ck *search.Checkpoint) error {
 // only its first allocation of work is lost).
 func (s *Store) LoadCheckpoint(id string) (*search.Checkpoint, bool, error) {
 	path := filepath.Join(s.root, id, ckptFile)
-	if _, err := os.Stat(path); os.IsNotExist(err) {
+	if _, err := s.fsys.Stat(path); errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
 	}
-	ck, err := search.LoadCheckpoint(path)
+	ck, err := search.LoadCheckpointFS(s.fsys, path)
 	if err != nil {
 		return nil, false, err
 	}
@@ -233,7 +247,7 @@ func (s *Store) LoadCheckpoint(id string) (*search.Checkpoint, bool, error) {
 
 // SaveLog persists a completed campaign's final search log.
 func (s *Store) SaveLog(id string, log *search.Log) error {
-	return log.WriteJSON(filepath.Join(s.root, id, logFile))
+	return log.WriteJSONFS(s.fsys, filepath.Join(s.root, id, logFile))
 }
 
 // LogPath returns the path of the campaign's final log file.
@@ -245,10 +259,10 @@ func (s *Store) LogPath(id string) string {
 // campaign has not completed.
 func (s *Store) LoadLog(id string) (*search.Log, bool, error) {
 	path := s.LogPath(id)
-	if _, err := os.Stat(path); os.IsNotExist(err) {
+	if _, err := s.fsys.Stat(path); errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
 	}
-	log, err := search.LoadLog(path)
+	log, err := search.LoadLogFS(s.fsys, path)
 	if err != nil {
 		return nil, false, err
 	}

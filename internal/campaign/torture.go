@@ -1,0 +1,438 @@
+// Crash-point torture: enumerate a power cut at every mutating filesystem
+// operation of a campaign and prove the store recovers.
+//
+// The protocol (DESIGN.md §13):
+//
+//  1. Record. Run the campaign once, uninterrupted, over a
+//     fsim.RecordFS wrapping a fsim.MemFS. The tape captures every
+//     mutating filesystem operation with its exact bytes; the MemFS holds
+//     the reference artifacts (final log included).
+//  2. Enumerate. For every mutating-operation index k, replay the tape
+//     into a fresh MemFS behind a FaultFS{CrashAtOp: k} and take the
+//     CrashImage — the bytes a real power cut at that instant leaves.
+//     Replay is byte shuffling, so enumeration costs microseconds per
+//     crash point instead of a full training run.
+//  3. Verify. Reopen the store on each image: it must open, quarantine
+//     only campaigns whose meta never became durable, and every surviving
+//     store file must byte-match some completed write from the tape
+//     (old-or-new, never torn).
+//  4. Resume. Restart the campaign from the image and run it to
+//     completion; the final log must be byte-identical to the reference.
+//     Images are deduplicated by content digest first — distinct durable
+//     states are few (they change only at directory syncs), so only a
+//     handful of resumes pay for real training.
+//
+// The fsync-lie pass repeats the enumeration with file fsyncs acknowledged
+// but dropped. Lying firmware can lose committed state — no software
+// recipe survives it — so the invariant weakens to: the service still
+// opens, damaged files are rejected descriptively (quarantine or FAILED
+// park, never a mis-decode), and any campaign that does resume still
+// reproduces the reference log byte-for-byte.
+package campaign
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"time"
+
+	"nasgo/internal/fsim"
+)
+
+// tortureStoreDir is the store root on the torture harness's MemFS.
+const tortureStoreDir = "/campaigns"
+
+// TortureOptions configures a crash-point enumeration.
+type TortureOptions struct {
+	// Opts are the supervisor options for the recording run and every
+	// resume; FS is overridden per run. Use short backoffs.
+	Opts Options
+	// Lies additionally enumerates every crash point in fsync-lie mode.
+	Lies bool
+	// ResumeTimeout bounds the recording run and each post-crash resume
+	// (default 5 minutes).
+	ResumeTimeout time.Duration
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// TortureReport summarizes an enumeration that held all invariants.
+type TortureReport struct {
+	// TapeLen is the recorded operation count; CrashPoints the enumerated
+	// mutating-operation indexes (every one passed verification).
+	TapeLen     int `json:"tapeLen"`
+	CrashPoints int `json:"crashPoints"`
+	// DistinctImages counts unique surviving durable states; LiveResumes
+	// the ones that re-ran real training (the rest were memoized).
+	DistinctImages int `json:"distinctImages"`
+	LiveResumes    int `json:"liveResumes"`
+	// EmptyStores counts crash points before the campaign's meta became
+	// durable — the submission was never acknowledged, so nothing resumes.
+	EmptyStores int `json:"emptyStores"`
+	// Lie-mode tallies (zero unless TortureOptions.Lies).
+	LieCrashPoints int `json:"lieCrashPoints"`
+	// LieUnreadable counts lie-mode images with dropped pages detected and
+	// rejected (quarantined meta or FAILED-parked checkpoint).
+	LieUnreadable int `json:"lieUnreadable"`
+	// LieResumed counts lie-mode images that resumed to the reference log.
+	LieResumed int `json:"lieResumed"`
+}
+
+// resumeOutcome is the memoized result of restarting from one image.
+type resumeOutcome struct {
+	campaigns int
+	done      bool // every campaign reached DONE
+	logBytes  []byte
+}
+
+// TortureCampaign records spec's campaign once, then enumerates a power
+// cut at every mutating filesystem operation, verifying recovery and
+// resume byte-identity at each. It returns a report on success and the
+// first violated invariant as an error.
+func TortureCampaign(spec Spec, topt TortureOptions) (*TortureReport, error) {
+	if topt.ResumeTimeout <= 0 {
+		topt.ResumeTimeout = 5 * time.Minute
+	}
+	logf := topt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// 1. Record the uninterrupted campaign.
+	mem := fsim.NewMemFS()
+	rec := fsim.NewRecordFS(mem)
+	recOpts := topt.Opts
+	recOpts.FS = rec
+	mgr, quarantined, err := NewManager(tortureStoreDir, recOpts)
+	if err != nil {
+		return nil, err
+	}
+	if len(quarantined) != 0 {
+		return nil, fmt.Errorf("campaign: torture recording store quarantined %v", quarantined)
+	}
+	mgr.Start()
+	info, err := mgr.Submit(&spec)
+	if err != nil {
+		return nil, err
+	}
+	id := info.ID
+	if err := awaitSettled(mgr, topt.ResumeTimeout); err != nil {
+		mgr.Drain()
+		return nil, err
+	}
+	mgr.Drain()
+	if got, _ := mgr.Get(id); got.Status != StatusDone {
+		return nil, fmt.Errorf("campaign: torture recording ended %s (%s), want done", got.Status, got.Error)
+	}
+	refLog, err := mem.ReadFile(filepath.Join(tortureStoreDir, id, logFile))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: torture reference log: %w", err)
+	}
+	tape := rec.Ops()
+	versions := tapeVersions(tape)
+
+	probe := fsim.NewFaultFS(fsim.NewMemFS(), fsim.Faults{})
+	if _, err := fsim.Replay(probe, tape); err != nil {
+		return nil, fmt.Errorf("campaign: torture tape does not replay clean: %w", err)
+	}
+	total := probe.Ops()
+	logf("torture: tape %d ops, %d crash points, reference log %d bytes",
+		len(tape), total, len(refLog))
+
+	rep := &TortureReport{TapeLen: len(tape)}
+	memo := map[string]*resumeOutcome{}
+
+	// 2–4. Honest enumeration: strict recovery at every cut.
+	for k := int64(1); k <= total; k++ {
+		img, err := crashImageAt(tape, k, false)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyImage(img, versions); err != nil {
+			return nil, fmt.Errorf("campaign: crash point %d: %w", k, err)
+		}
+		out, err := resumeMemo(memo, img, id, topt, rep)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: crash point %d: %w", k, err)
+		}
+		switch {
+		case out.campaigns == 0:
+			rep.EmptyStores++
+		case !out.done:
+			return nil, fmt.Errorf("campaign: crash point %d: resume did not complete", k)
+		case !bytes.Equal(out.logBytes, refLog):
+			return nil, fmt.Errorf("campaign: crash point %d: resumed log differs from the uninterrupted run", k)
+		}
+		rep.CrashPoints++
+	}
+	logf("torture: honest pass ok — %d crash points, %d distinct images, %d live resumes, %d empty stores",
+		rep.CrashPoints, rep.DistinctImages, rep.LiveResumes, rep.EmptyStores)
+
+	if !topt.Lies {
+		return rep, nil
+	}
+
+	// Lie pass: fsyncs acknowledged, pages dropped at the cut.
+	for k := int64(1); k <= total; k++ {
+		img, err := crashImageAt(tape, k, true)
+		if err != nil {
+			return nil, err
+		}
+		unreadable, err := verifyLieImage(img, versions)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: lie crash point %d: %w", k, err)
+		}
+		out, err := resumeMemo(memo, img, id, topt, rep)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: lie crash point %d: %w", k, err)
+		}
+		if unreadable {
+			rep.LieUnreadable++
+		}
+		if out.campaigns > 0 && out.done {
+			if !bytes.Equal(out.logBytes, refLog) {
+				return nil, fmt.Errorf("campaign: lie crash point %d: resumed log differs from the uninterrupted run", k)
+			}
+			rep.LieResumed++
+		}
+		rep.LieCrashPoints++
+	}
+	logf("torture: lie pass ok — %d crash points, %d rejected unreadable, %d resumed identical",
+		rep.LieCrashPoints, rep.LieUnreadable, rep.LieResumed)
+	return rep, nil
+}
+
+// crashImageAt replays the tape into a power cut at mutating op k and
+// returns the surviving bytes.
+func crashImageAt(tape []fsim.Op, k int64, lies bool) (*fsim.MemFS, error) {
+	mem := fsim.NewMemFS()
+	ffs := fsim.NewFaultFS(mem, fsim.Faults{CrashAtOp: k, SyncLies: lies})
+	if _, err := fsim.Replay(ffs, tape); !errors.Is(err, fsim.ErrCrashed) {
+		return nil, fmt.Errorf("campaign: crash point %d: replay ended with %v, want power cut", k, err)
+	}
+	return mem.CrashImage(), nil
+}
+
+// tapeVersions reconstructs, for every path the tape renamed into, the
+// complete contents of each successive version — the old-or-new oracle.
+func tapeVersions(tape []fsim.Op) map[string][][]byte {
+	bufs := map[int]*bytes.Buffer{}
+	owner := map[string]int{} // recording-side name → handle
+	out := map[string][][]byte{}
+	for _, op := range tape {
+		switch op.Kind {
+		case fsim.OpCreate, fsim.OpCreateTemp:
+			bufs[op.Handle] = &bytes.Buffer{}
+			owner[op.Name] = op.Handle
+		case fsim.OpWrite:
+			if b := bufs[op.Handle]; b != nil {
+				b.Write(op.Data)
+			}
+		case fsim.OpRename:
+			if h, ok := owner[op.Src]; ok {
+				out[op.Path] = append(out[op.Path], append([]byte(nil), bufs[h].Bytes()...))
+				owner[op.Path] = h
+			}
+		}
+	}
+	return out
+}
+
+func isVersion(versions [][]byte, raw []byte) bool {
+	for _, v := range versions {
+		if bytes.Equal(v, raw) {
+			return true
+		}
+	}
+	return false
+}
+
+// verifyImage holds the honest-mode recovery invariants: the store opens,
+// quarantine only ever hits campaigns whose meta never became durable, and
+// every surviving store file byte-matches a completed write.
+func verifyImage(img *fsim.MemFS, versions map[string][][]byte) error {
+	st, quarantined, err := OpenStoreFS(img, tortureStoreDir)
+	if err != nil {
+		return fmt.Errorf("store failed to reopen: %w", err)
+	}
+	for _, name := range quarantined {
+		metaPath := filepath.Join(tortureStoreDir, name, metaFile)
+		if _, err := img.Stat(metaPath); !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("campaign %s quarantined despite a surviving meta file (committed-state loss)", name)
+		}
+	}
+	metas, err := st.List()
+	if err != nil {
+		return err
+	}
+	for _, m := range metas {
+		for _, f := range []string{metaFile, ckptFile, logFile} {
+			p := filepath.Join(tortureStoreDir, m.ID, f)
+			raw, err := img.ReadFile(p)
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if !isVersion(versions[p], raw) {
+				return fmt.Errorf("%s: surviving content matches no completed write (torn state)", p)
+			}
+		}
+		if _, _, err := st.LoadCheckpoint(m.ID); err != nil {
+			return fmt.Errorf("checkpoint of %s unreadable: %w", m.ID, err)
+		}
+	}
+	return nil
+}
+
+// verifyLieImage holds the weaker lie-mode invariants: the store must
+// still open without error, and any readable store file must be a complete
+// version — dropped pages must surface as rejections, never mis-decodes.
+// It reports whether the image contained detected damage.
+func verifyLieImage(img *fsim.MemFS, versions map[string][][]byte) (unreadable bool, err error) {
+	st, quarantined, err := OpenStoreFS(img, tortureStoreDir)
+	if err != nil {
+		return false, fmt.Errorf("store failed to reopen: %w", err)
+	}
+	unreadable = len(quarantined) > 0
+	metas, err := st.List()
+	if err != nil {
+		return unreadable, err
+	}
+	for _, m := range metas {
+		for _, f := range []string{metaFile, ckptFile, logFile} {
+			p := filepath.Join(tortureStoreDir, m.ID, f)
+			raw, rerr := img.ReadFile(p)
+			if rerr != nil {
+				continue
+			}
+			readable := true
+			switch f {
+			case metaFile:
+				// Listed ⇒ meta already validated by the store.
+			case ckptFile:
+				_, _, lerr := st.LoadCheckpoint(m.ID)
+				readable = lerr == nil
+			case logFile:
+				_, _, lerr := st.LoadLog(m.ID)
+				readable = lerr == nil
+			}
+			if readable && !isVersion(versions[p], raw) {
+				return unreadable, fmt.Errorf("%s: damaged content decoded as valid (mis-decode)", p)
+			}
+			if !readable {
+				unreadable = true
+			}
+		}
+	}
+	return unreadable, nil
+}
+
+// resumeMemo deduplicates resumes by image digest: identical surviving
+// states restart identically, so only the first of each digest pays for
+// real training. The digest is taken after the store janitor ran (inside
+// verify*'s OpenStoreFS), merging images that differ only in temp debris.
+func resumeMemo(memo map[string]*resumeOutcome, img *fsim.MemFS, id string, topt TortureOptions, rep *TortureReport) (*resumeOutcome, error) {
+	d := imageDigest(img)
+	if out, ok := memo[d]; ok {
+		return out, nil
+	}
+	rep.DistinctImages++
+	out, err := tortureResume(img, id, topt)
+	if err != nil {
+		return nil, err
+	}
+	if out.campaigns > 0 && out.done {
+		rep.LiveResumes++
+	}
+	memo[d] = out
+	return out, nil
+}
+
+// tortureResume restarts the campaign service on the surviving image and
+// runs every recorded campaign to quiescence.
+func tortureResume(img *fsim.MemFS, id string, topt TortureOptions) (*resumeOutcome, error) {
+	opts := topt.Opts
+	opts.FS = img
+	mgr, _, err := NewManager(tortureStoreDir, opts)
+	if err != nil {
+		return nil, fmt.Errorf("service failed to restart on surviving bytes: %w", err)
+	}
+	mgr.Start()
+	if err := awaitSettled(mgr, topt.ResumeTimeout); err != nil {
+		mgr.Drain()
+		return nil, err
+	}
+	mgr.Drain()
+	out := &resumeOutcome{}
+	infos := mgr.List()
+	out.campaigns = len(infos)
+	out.done = len(infos) > 0
+	for _, in := range infos {
+		if in.Status != StatusDone {
+			out.done = false
+		}
+	}
+	if out.done {
+		b, err := img.ReadFile(filepath.Join(tortureStoreDir, id, logFile))
+		if err != nil {
+			return nil, fmt.Errorf("resumed campaign left no log: %w", err)
+		}
+		out.logBytes = b
+	}
+	return out, nil
+}
+
+// awaitSettled polls until every campaign is quiescent (terminal or
+// paused, runner stopped).
+func awaitSettled(mgr *Manager, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		settled := true
+		for _, in := range mgr.List() {
+			if in.Running || (!in.Status.Terminal() && in.Status != StatusPaused) {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("campaign: torture run did not settle within %v: %+v", timeout, mgr.List())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// imageDigest hashes the image's full visible tree (paths, sizes, bytes).
+func imageDigest(img *fsim.MemFS) string {
+	h := sha256.New()
+	var walk func(dir string)
+	walk = func(dir string) {
+		entries, err := img.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			p := filepath.Join(dir, e.Name())
+			if e.IsDir() {
+				fmt.Fprintf(h, "d %s\n", p)
+				walk(p)
+				continue
+			}
+			b, _ := img.ReadFile(p)
+			fmt.Fprintf(h, "f %s %d\n", p, len(b))
+			h.Write(b)
+		}
+	}
+	walk(tortureStoreDir)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -17,26 +17,59 @@
 //
 //	[magic: 8 bytes] [version: 4 bytes BE] [payload length: 8 bytes BE]
 //	[SHA-256 of payload: 32 bytes] [payload]
+//
+// Every function takes its filesystem through the fsim.FS seam (the *FS
+// variants); the plain-named functions write through fsim.OS and are what
+// production code calls. Read errors classify two ways: structural damage
+// wraps ErrCorrupt, I/O failures keep their errno so IsTransient can spot
+// retryable conditions (EIO, ENOSPC).
 package ckpt
 
 import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"syscall"
+
+	"nasgo/internal/fsim"
 )
 
 const headerLen = 8 + 4 + 8 + sha256.Size
+
+// ErrCorrupt marks a file whose bytes are structurally damaged — truncated,
+// wrong magic, trailing garbage, or checksum mismatch. Retrying the read
+// cannot help; the caller should fall back or quarantine. Transient I/O
+// errors (EIO, ENOSPC) do NOT wrap ErrCorrupt; test with IsTransient.
+var ErrCorrupt = errors.New("ckpt: file corrupted")
+
+// IsTransient reports whether err is a retryable I/O condition — a
+// transient device error or a full disk — rather than corruption or a
+// programming error. Both real syscall failures and fsim-injected faults
+// satisfy it, since injected errors wrap the same errnos.
+func IsTransient(err error) bool {
+	return errors.Is(err, syscall.EIO) || errors.Is(err, syscall.ENOSPC)
+}
+
+// corruptErr builds a descriptive structural-damage error wrapping ErrCorrupt.
+func corruptErr(path, format string, args ...any) error {
+	return fmt.Errorf("ckpt: %s: %s: %w", path, fmt.Sprintf(format, args...), ErrCorrupt)
+}
 
 // AtomicWrite writes a file by staging into a temp file in the same
 // directory, syncing, and renaming over the target. If write fails at any
 // point, the target is left untouched and the temp file is removed.
 func AtomicWrite(path string, write func(io.Writer) error) error {
+	return AtomicWriteFS(fsim.OS, path, write)
+}
+
+// AtomicWriteFS is AtomicWrite through an explicit filesystem.
+func AtomicWriteFS(fsys fsim.FS, path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("ckpt: create temp file in %s: %w", dir, err)
 	}
@@ -44,7 +77,7 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 	defer func() {
 		if tmpName != "" {
 			tmp.Close()
-			os.Remove(tmpName)
+			fsys.Remove(tmpName)
 		}
 	}()
 	if err := write(tmp); err != nil {
@@ -56,13 +89,17 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("ckpt: close %s: %w", tmpName, err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		// Clean up the orphan and sync the directory so the removal is
+		// durable too — otherwise a crash resurrects the temp file for the
+		// store janitor to deal with on every restart.
+		fsys.Remove(tmpName)
+		fsys.SyncDir(dir)
 		tmpName = ""
 		return fmt.Errorf("ckpt: rename into %s: %w", path, err)
 	}
 	tmpName = "" // renamed away; nothing to clean up
-	return SyncDir(dir)
+	return SyncDirFS(fsys, dir)
 }
 
 // SyncDir fsyncs a directory, making a preceding rename in it durable: on
@@ -71,12 +108,12 @@ func AtomicWrite(path string, write func(io.Writer) error) error {
 // directory is synced too. AtomicWrite calls this after its rename;
 // callers that move files around by hand should do the same.
 func SyncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("ckpt: open dir %s for sync: %w", dir, err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	return SyncDirFS(fsim.OS, dir)
+}
+
+// SyncDirFS is SyncDir through an explicit filesystem.
+func SyncDirFS(fsys fsim.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("ckpt: sync dir %s: %w", dir, err)
 	}
 	return nil
@@ -85,11 +122,16 @@ func SyncDir(dir string) error {
 // WriteFile atomically writes a framed, checksummed container. magic must be
 // exactly 8 bytes.
 func WriteFile(path, magic string, version uint32, payload []byte) error {
+	return WriteFileFS(fsim.OS, path, magic, version, payload)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem.
+func WriteFileFS(fsys fsim.FS, path, magic string, version uint32, payload []byte) error {
 	if len(magic) != 8 {
 		return fmt.Errorf("ckpt: magic %q must be 8 bytes, got %d", magic, len(magic))
 	}
 	sum := sha256.Sum256(payload)
-	return AtomicWrite(path, func(w io.Writer) error {
+	return AtomicWriteFS(fsys, path, func(w io.Writer) error {
 		header := make([]byte, 0, headerLen)
 		header = append(header, magic...)
 		header = binary.BigEndian.AppendUint32(header, version)
@@ -106,20 +148,26 @@ func WriteFile(path, magic string, version uint32, payload []byte) error {
 // ReadFile reads and validates a container written by WriteFile, returning
 // the payload and the stored version. It rejects wrong magic, versions above
 // maxVersion, truncation at any byte, trailing garbage, and checksum
-// mismatches, each with a descriptive error.
+// mismatches, each with a descriptive error; structural failures wrap
+// ErrCorrupt so callers can tell damage from transient I/O trouble.
 func ReadFile(path, magic string, maxVersion uint32) (payload []byte, version uint32, err error) {
+	return ReadFileFS(fsim.OS, path, magic, maxVersion)
+}
+
+// ReadFileFS is ReadFile through an explicit filesystem.
+func ReadFileFS(fsys fsim.FS, path, magic string, maxVersion uint32) (payload []byte, version uint32, err error) {
 	if len(magic) != 8 {
 		return nil, 0, fmt.Errorf("ckpt: magic %q must be 8 bytes, got %d", magic, len(magic))
 	}
-	raw, err := os.ReadFile(path)
+	raw, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, 0, fmt.Errorf("ckpt: read %s: %w", path, err)
 	}
 	if len(raw) < headerLen {
-		return nil, 0, fmt.Errorf("ckpt: %s: truncated header: %d bytes, need at least %d", path, len(raw), headerLen)
+		return nil, 0, corruptErr(path, "truncated header: %d bytes, need at least %d", len(raw), headerLen)
 	}
 	if string(raw[:8]) != magic {
-		return nil, 0, fmt.Errorf("ckpt: %s: bad magic %q, want %q", path, raw[:8], magic)
+		return nil, 0, corruptErr(path, "bad magic %q, want %q", raw[:8], magic)
 	}
 	version = binary.BigEndian.Uint32(raw[8:12])
 	if version == 0 || version > maxVersion {
@@ -129,16 +177,16 @@ func ReadFile(path, magic string, maxVersion uint32) (payload []byte, version ui
 	want := sha256.Size + int(plen)
 	got := len(raw) - 20
 	if uint64(got) < uint64(want) {
-		return nil, 0, fmt.Errorf("ckpt: %s: truncated payload: %d bytes after header, need %d", path, got, want)
+		return nil, 0, corruptErr(path, "truncated payload: %d bytes after header, need %d", got, want)
 	}
 	if uint64(got) > uint64(want) {
-		return nil, 0, fmt.Errorf("ckpt: %s: %d trailing bytes after payload", path, got-want)
+		return nil, 0, corruptErr(path, "%d trailing bytes after payload", got-want)
 	}
 	var sum [sha256.Size]byte
 	copy(sum[:], raw[20:20+sha256.Size])
 	payload = raw[20+sha256.Size:]
 	if actual := sha256.Sum256(payload); !bytes.Equal(actual[:], sum[:]) {
-		return nil, 0, fmt.Errorf("ckpt: %s: payload checksum mismatch (file corrupted)", path)
+		return nil, 0, corruptErr(path, "payload checksum mismatch")
 	}
 	return payload, version, nil
 }

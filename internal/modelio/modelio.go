@@ -17,9 +17,9 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 
 	"nasgo/internal/ckpt"
+	"nasgo/internal/fsim"
 	"nasgo/internal/nn"
 	"nasgo/internal/rng"
 	"nasgo/internal/space"
@@ -43,6 +43,11 @@ type saved struct {
 // Save writes a trained model built from (sp, choices, inputDims,
 // unitScale) to path.
 func Save(path string, sp *space.Space, choices []int, inputDims []int, unitScale float64, m *nn.Model) error {
+	return SaveFS(fsim.OS, path, sp, choices, inputDims, unitScale, m)
+}
+
+// SaveFS is Save through an explicit filesystem.
+func SaveFS(fsys fsim.FS, path string, sp *space.Space, choices []int, inputDims []int, unitScale float64, m *nn.Model) error {
 	if err := sp.CheckChoices(choices); err != nil {
 		return fmt.Errorf("modelio: %w", err)
 	}
@@ -54,7 +59,7 @@ func Save(path string, sp *space.Space, choices []int, inputDims []int, unitScal
 		UnitScale: unitScale,
 		Values:    m.Params().FlattenValues(),
 	}
-	return ckpt.AtomicWrite(path, func(w io.Writer) error {
+	return ckpt.AtomicWriteFS(fsys, path, func(w io.Writer) error {
 		if err := gob.NewEncoder(w).Encode(&s); err != nil {
 			return fmt.Errorf("modelio: encode %s: %w", path, err)
 		}
@@ -64,7 +69,12 @@ func Save(path string, sp *space.Space, choices []int, inputDims []int, unitScal
 
 // Load reads a model whose space is in the catalog (combo-small etc.).
 func Load(path string) (*nn.Model, *space.ArchIR, error) {
-	s, err := read(path)
+	return LoadFS(fsim.OS, path)
+}
+
+// LoadFS is Load through an explicit filesystem.
+func LoadFS(fsys fsim.FS, path string) (*nn.Model, *space.ArchIR, error) {
+	s, err := read(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -78,7 +88,7 @@ func Load(path string) (*nn.Model, *space.ArchIR, error) {
 // LoadWithSpace reads a model saved from a custom space; the caller
 // supplies the identical space definition.
 func LoadWithSpace(path string, sp *space.Space) (*nn.Model, *space.ArchIR, error) {
-	s, err := read(path)
+	s, err := read(fsim.OS, path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -88,8 +98,8 @@ func LoadWithSpace(path string, sp *space.Space) (*nn.Model, *space.ArchIR, erro
 	return build(s, sp)
 }
 
-func read(path string) (*saved, error) {
-	f, err := os.Open(path)
+func read(fsys fsim.FS, path string) (*saved, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -39,6 +39,7 @@ import (
 	"nasgo/internal/candle"
 	"nasgo/internal/ckpt"
 	"nasgo/internal/evaluator"
+	"nasgo/internal/fsim"
 	"nasgo/internal/hpc"
 	"nasgo/internal/ps"
 	"nasgo/internal/rl"
@@ -393,17 +394,27 @@ const (
 // framed with a versioned header and SHA-256 checksum, renamed into place.
 // A crash mid-write leaves any previous checkpoint at path intact.
 func (ck *Checkpoint) WriteFile(path string) error {
+	return ck.WriteFileFS(fsim.OS, path)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem.
+func (ck *Checkpoint) WriteFileFS(fsys fsim.FS, path string) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
 		return fmt.Errorf("search: encode checkpoint: %w", err)
 	}
-	return ckpt.WriteFile(path, checkpointMagic, checkpointVersion, buf.Bytes())
+	return ckpt.WriteFileFS(fsys, path, checkpointMagic, checkpointVersion, buf.Bytes())
 }
 
 // LoadCheckpoint reads a checkpoint written by WriteFile. Truncated or
 // corrupted files are rejected with descriptive errors.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
-	payload, _, err := ckpt.ReadFile(path, checkpointMagic, checkpointVersion)
+	return LoadCheckpointFS(fsim.OS, path)
+}
+
+// LoadCheckpointFS is LoadCheckpoint through an explicit filesystem.
+func LoadCheckpointFS(fsys fsim.FS, path string) (*Checkpoint, error) {
+	payload, _, err := ckpt.ReadFileFS(fsys, path, checkpointMagic, checkpointVersion)
 	if err != nil {
 		return nil, err
 	}

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
 	"nasgo/internal/ckpt"
+	"nasgo/internal/fsim"
 )
 
 // WriteJSON saves the log to path so the analytics and post-training CLIs
@@ -14,11 +14,16 @@ import (
 // (temp file + rename): a crash mid-write leaves any previous log intact
 // rather than a truncated JSON prefix.
 func (l *Log) WriteJSON(path string) error {
+	return l.WriteJSONFS(fsim.OS, path)
+}
+
+// WriteJSONFS is WriteJSON through an explicit filesystem.
+func (l *Log) WriteJSONFS(fsys fsim.FS, path string) error {
 	data, err := json.MarshalIndent(l, "", " ")
 	if err != nil {
 		return fmt.Errorf("search: marshal log: %w", err)
 	}
-	return ckpt.AtomicWrite(path, func(w io.Writer) error {
+	return ckpt.AtomicWriteFS(fsys, path, func(w io.Writer) error {
 		_, err := w.Write(data)
 		return err
 	})
@@ -28,7 +33,12 @@ func (l *Log) WriteJSON(path string) error {
 // including valid JSON that is not a search log — yields a descriptive
 // error rather than a zero-valued Log.
 func LoadLog(path string) (*Log, error) {
-	data, err := os.ReadFile(path)
+	return LoadLogFS(fsim.OS, path)
+}
+
+// LoadLogFS is LoadLog through an explicit filesystem.
+func LoadLogFS(fsys fsim.FS, path string) (*Log, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

@@ -22,7 +22,7 @@ go test -short ./...
 # the only data-parallel float loops in the repo.
 go test -race ./internal/hpc/ ./internal/balsam/ ./internal/rng/ ./internal/space/ \
     ./internal/ckpt/ ./internal/ps/ ./internal/optim/ ./internal/trace/ ./internal/analytics/ \
-    ./internal/tensor/ ./internal/nn/
+    ./internal/tensor/ ./internal/nn/ ./internal/fsim/
 # The evaluator trains real (scaled) networks, but its suite is small enough
 # to race-check whole — this is the only gate exercising Workers > 1
 # evaluator concurrency under the race detector.
@@ -37,21 +37,23 @@ go test -race -timeout 30m -run TestShort ./internal/search/
 go test -race -timeout 30m ./internal/campaign/
 
 # Coverage gate on the persistence- and concurrency-critical packages: the
-# trace codec, the checkpoint container, the evaluator (cache + worker
-# pool), the tensor/nn hot path (destination-passing kernels + arena), and
-# the campaign service (crash-consistent store + supervisor + HTTP edge)
+# trace codec, the checkpoint container, the fault-injection filesystem
+# (the torture harness is only as honest as its simulated disk), the
+# evaluator (cache + worker pool), the tensor/nn hot path
+# (destination-passing kernels + arena), and the campaign service
+# (crash-consistent store + supervisor + HTTP edge + crash-point torture)
 # must stay thoroughly tested — a regression here can silently corrupt
 # recorded runs, checkpoint chains, reward determinism, the float
 # bit-identity the arena guarantees, or the kill-anywhere durability the
 # campaign server promises.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
-go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/evaluator/ \
-    ./internal/tensor/ ./internal/nn/ ./internal/campaign/ >/dev/null
+go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/fsim/ \
+    ./internal/evaluator/ ./internal/tensor/ ./internal/nn/ ./internal/campaign/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt+evaluator+tensor+nn+campaign coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt+evaluator+tensor+nn+campaign coverage ${total}%"
+echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign coverage ${total}%"
 echo "check.sh: OK"
