@@ -24,6 +24,7 @@ package balsam
 import (
 	"fmt"
 	"math"
+	mathbits "math/bits"
 	"sort"
 
 	"nasgo/internal/hpc"
@@ -84,15 +85,49 @@ type Job struct {
 	// fire tracks the job's pending simulator event — the completion event
 	// while RUNNING, the requeue event while RUN_ERROR — so a checkpoint can
 	// capture and later re-enqueue it at the exact same (time, seq) position.
-	fire *pendingEvent
+	fire *jobEvent
 }
 
-// pendingEvent records where one scheduled simulator event sits in the
-// queue. Closures capture the struct pointer, so the seq assigned by AtE
-// after closure creation is visible when the event fires.
-type pendingEvent struct {
-	time float64
-	seq  int64
+// jobEvent is one pending simulator event the service owns — a job's
+// completion, its requeue after backoff, or a restored stale no-op. It
+// implements hpc.Handler and is recycled through the service's free list,
+// so the steady-state dispatch cycle schedules without allocating. A record
+// is distinct per dispatch and deliberately NOT embedded in the Job: after
+// a kill, the orphaned completion of the dead attempt and the completion of
+// the retry coexist in the event queue, and sharing a record would let the
+// stale one fire as valid.
+type jobEvent struct {
+	s       *Service
+	job     *Job
+	attempt int
+	kind    int
+	time    float64
+	seq     int64
+	// nextFree links recycled records into the service's free list.
+	nextFree *jobEvent
+}
+
+const (
+	evComplete = iota
+	evRequeue
+	// evStale is a restored orphaned completion: the original closure is
+	// gone, so it fires purely as its removeStale bookkeeping no-op.
+	evStale
+)
+
+// Fire dispatches the event when the simulator reaches its (time, seq)
+// slot.
+func (e *jobEvent) Fire() {
+	switch e.kind {
+	case evComplete:
+		e.s.complete(e)
+	case evRequeue:
+		e.s.requeue(e)
+	case evStale:
+		s := e.s
+		s.removeStale(e)
+		s.recycle(e)
+	}
 }
 
 // NodeState is the availability state of one worker node.
@@ -112,13 +147,36 @@ const (
 type NodePool struct {
 	states []NodeState
 	jobs   []*Job
-	busy   int
-	down   int
+	// idle mirrors states as a bitmap (bit i set iff node i is idle), so
+	// Acquire's lowest-idle-index search is a word scan plus TrailingZeros
+	// instead of a byte-per-node walk — the difference between O(n) and
+	// O(n/64) per dispatch at Theta-scale node counts. The selection is
+	// unchanged, only its cost.
+	idle []uint64
+	busy int
+	down int
 }
 
 // NewNodePool creates a pool of n idle nodes.
 func NewNodePool(n int) *NodePool {
-	return &NodePool{states: make([]NodeState, n), jobs: make([]*Job, n)}
+	p := &NodePool{states: make([]NodeState, n), jobs: make([]*Job, n), idle: make([]uint64, (n+63)/64)}
+	for i := 0; i < n; i++ {
+		p.idle[i>>6] |= 1 << (uint(i) & 63)
+	}
+	return p
+}
+
+// rebuildIdle reconstitutes the idle bitmap from states — for restore
+// paths that poke states directly.
+func (p *NodePool) rebuildIdle() {
+	for w := range p.idle {
+		p.idle[w] = 0
+	}
+	for i, st := range p.states {
+		if st == NodeIdle {
+			p.idle[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
 }
 
 // Len returns the pool size.
@@ -140,13 +198,21 @@ func (p *NodePool) Down() int { return p.down }
 // index, or -1 when every node is busy or down. Lowest-index-first keeps
 // the schedule deterministic.
 func (p *NodePool) Acquire(job *Job) int {
-	for i, st := range p.states {
-		if st == NodeIdle {
-			p.states[i] = NodeBusy
-			p.jobs[i] = job
-			p.busy++
-			return i
+	if p.busy+p.down == len(p.states) {
+		// Saturated machine: the launcher polls on every completion, so
+		// this is the hot miss — answer it without touching the bitmap.
+		return -1
+	}
+	for w, bits := range p.idle {
+		if bits == 0 {
+			continue
 		}
+		i := w<<6 + mathbits.TrailingZeros64(bits)
+		p.idle[w] = bits &^ (1 << (uint(i) & 63))
+		p.states[i] = NodeBusy
+		p.jobs[i] = job
+		p.busy++
+		return i
 	}
 	return -1
 }
@@ -157,6 +223,7 @@ func (p *NodePool) Release(i int) {
 		panic(fmt.Sprintf("balsam: release of non-busy node %d", i))
 	}
 	p.states[i] = NodeIdle
+	p.idle[i>>6] |= 1 << (uint(i) & 63)
 	p.jobs[i] = nil
 	p.busy--
 }
@@ -170,6 +237,7 @@ func (p *NodePool) SetDown(i int) {
 		return
 	}
 	p.states[i] = NodeDown
+	p.idle[i>>6] &^= 1 << (uint(i) & 63)
 	p.jobs[i] = nil
 	p.down++
 }
@@ -180,6 +248,7 @@ func (p *NodePool) SetUp(i int) {
 		return
 	}
 	p.states[i] = NodeIdle
+	p.idle[i>>6] |= 1 << (uint(i) & 63)
 	p.down--
 }
 
@@ -201,6 +270,13 @@ type Options struct {
 	BackoffBase float64
 	// BackoffCap caps the exponential backoff (default 240).
 	BackoffCap float64
+	// NoUtilizationSeries disables retention of the per-transition
+	// utilization series (UtilizationSeries then returns nil); the busy/down
+	// integrals — and with them MeanUtilization — are unaffected. Million-
+	// event runs (the simbench experiment, the allocation gate) set it: the
+	// series grows by one point per job transition, which is both unbounded
+	// memory and the one steady-state allocation left in the dispatch cycle.
+	NoUtilizationSeries bool
 }
 
 func (o Options) withDefaults() Options {
@@ -222,13 +298,23 @@ func (o Options) withDefaults() Options {
 
 // Service is the in-memory job database plus launcher.
 type Service struct {
-	sim    *hpc.Sim
-	pool   *NodePool
-	opts   Options
+	sim  *hpc.Sim
+	pool *NodePool
+	opts Options
+	// queue[qhead:] is the launcher queue front-to-back; dispatch advances
+	// qhead instead of reslicing so the backing array is reused once the
+	// queue drains — append never reallocates in steady state.
 	queue  []*Job
+	qhead  int
 	nextID int64
 
+	// jobs holds the live (non-terminal) jobs; terminal jobs are evicted so
+	// the table stays bounded over millions of submissions. The evaluator
+	// only ever looks up in-flight jobs (Relink after a restore).
 	jobs map[int64]*Job
+
+	// freeEvents recycles jobEvent records (see jobEvent).
+	freeEvents *jobEvent
 
 	stragglerRand *rng.Rand
 
@@ -243,7 +329,7 @@ type Service struct {
 	// stale holds orphaned completion events of killed jobs. They are
 	// behavioural no-ops but still advance the virtual clock when they fire,
 	// so checkpoints must carry them to keep resumed runs bit-identical.
-	stale []*pendingEvent
+	stale []*jobEvent
 
 	// Utilization accounting: integrals of busy and down node counts over
 	// time plus a transition log for time series.
@@ -280,7 +366,9 @@ func NewService(sim *hpc.Sim, nodes int) *Service {
 func NewServiceWithOptions(sim *hpc.Sim, nodes int, opts Options) *Service {
 	s := newService(sim, nodes, opts)
 	s.lastChange = sim.Now()
-	s.transitions = append(s.transitions, UtilizationPoint{Time: sim.Now()})
+	if !s.opts.NoUtilizationSeries {
+		s.transitions = append(s.transitions, UtilizationPoint{Time: sim.Now()})
+	}
 	now := sim.Now()
 	for i, ev := range s.timeline {
 		delay := ev.Time - now
@@ -311,6 +399,26 @@ func newService(sim *hpc.Sim, nodes int, opts Options) *Service {
 	return s
 }
 
+// newJobEvent takes a record off the free list (or allocates one while the
+// pool warms up) and binds it to a job, attempt, and kind.
+func (s *Service) newJobEvent(job *Job, attempt, kind int) *jobEvent {
+	e := s.freeEvents
+	if e == nil {
+		e = &jobEvent{s: s}
+	} else {
+		s.freeEvents = e.nextFree
+	}
+	e.job, e.attempt, e.kind = job, attempt, kind
+	return e
+}
+
+// recycle returns a fired event record to the free list.
+func (s *Service) recycle(e *jobEvent) {
+	e.job = nil
+	e.nextFree = s.freeEvents
+	s.freeEvents = e
+}
+
 // scheduleTimelineEvent enqueues timeline event i at absolute time t and
 // records its queue position for checkpointing.
 func (s *Service) scheduleTimelineEvent(i int, t float64) {
@@ -337,7 +445,7 @@ func (s *Service) Busy() int { return s.pool.Busy() }
 func (s *Service) Down() int { return s.pool.Down() }
 
 // QueueLen returns the number of jobs waiting for a node.
-func (s *Service) QueueLen() int { return len(s.queue) }
+func (s *Service) QueueLen() int { return len(s.queue) - s.qhead }
 
 // Finished returns the number of successfully completed jobs (JOB_FINISHED
 // or RUN_TIMEOUT; FAILED jobs are counted by Failed).
@@ -372,7 +480,7 @@ func (s *Service) Submit(job *Job) int64 {
 	rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobSubmit,
 		Node: trace.None, Agent: job.AgentID, Job: job.ID, Detail: job.Key})
 	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
-		Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
+		Node: trace.None, Agent: trace.None, Value: float64(s.QueueLen())})
 	s.dispatch()
 	return job.ID
 }
@@ -380,13 +488,30 @@ func (s *Service) Submit(job *Job) int64 {
 // dispatch starts queued jobs while nodes are idle (the pilot-job launcher
 // loop).
 func (s *Service) dispatch() {
-	for len(s.queue) > 0 {
-		job := s.queue[0]
+	for len(s.queue) > s.qhead {
+		job := s.queue[s.qhead]
 		node := s.pool.Acquire(job)
 		if node < 0 {
 			return
 		}
-		s.queue = s.queue[1:]
+		s.queue[s.qhead] = nil
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		} else if s.qhead >= 64 && 2*s.qhead >= len(s.queue) {
+			// With a standing backlog the queue never drains, so the head
+			// index alone would let the backing array grow without bound.
+			// Compact in place once the dead prefix dominates: amortized
+			// O(1) per dispatch, no allocation, order untouched.
+			n := copy(s.queue, s.queue[s.qhead:])
+			tail := s.queue[n:]
+			for i := range tail {
+				tail[i] = nil
+			}
+			s.queue = s.queue[:n]
+			s.qhead = 0
+		}
 		job.State = StateRunning
 		job.Node = node
 		job.Attempts++
@@ -395,25 +520,29 @@ func (s *Service) dispatch() {
 		rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobRun,
 			Node: node, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
 		rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
-			Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
+			Node: trace.None, Agent: trace.None, Value: float64(s.QueueLen())})
 		s.updateCounts()
 		d := job.Duration
 		if s.stragglerRand != nil {
 			d *= s.opts.Faults.Straggler(s.stragglerRand)
 		}
-		attempt := job.Attempts
-		pe := &pendingEvent{}
-		pe.time, pe.seq = s.sim.AtE(d, func() { s.complete(job, attempt, pe) })
-		job.fire = pe
+		e := s.newJobEvent(job, job.Attempts, evComplete)
+		e.time, e.seq = s.sim.AtHandlerE(d, e)
+		job.fire = e
 	}
 }
 
 // complete finishes a run, unless the run was killed by a node failure
 // first (then the completion event is stale and ignored, beyond dropping
-// itself from the stale list).
-func (s *Service) complete(job *Job, attempt int, pe *pendingEvent) {
-	if job.State != StateRunning || job.Attempts != attempt {
-		s.removeStale(pe)
+// itself from the stale list). The fired event record is recycled either
+// way, and a terminal job is evicted from the job table — it has already
+// reported through OnDone, and the table must stay bounded over millions of
+// submissions.
+func (s *Service) complete(e *jobEvent) {
+	job := e.job
+	if job.State != StateRunning || job.Attempts != e.attempt {
+		s.removeStale(e)
+		s.recycle(e)
 		return
 	}
 	if job.TimedOut {
@@ -423,6 +552,8 @@ func (s *Service) complete(job *Job, attempt int, pe *pendingEvent) {
 	}
 	job.EndTime = s.sim.Now()
 	job.fire = nil
+	s.recycle(e)
+	delete(s.jobs, job.ID)
 	s.finished++
 	name := trace.EvJobDone
 	if job.TimedOut {
@@ -441,10 +572,10 @@ func (s *Service) complete(job *Job, attempt int, pe *pendingEvent) {
 }
 
 // removeStale drops one orphaned completion event from the stale list once
-// it has fired.
-func (s *Service) removeStale(pe *pendingEvent) {
-	for i, e := range s.stale {
-		if e == pe {
+// it has fired. The caller recycles the record.
+func (s *Service) removeStale(e *jobEvent) {
+	for i, st := range s.stale {
+		if st == e {
 			s.stale = append(s.stale[:i], s.stale[i+1:]...)
 			return
 		}
@@ -492,6 +623,7 @@ func (s *Service) kill(job *Job) {
 	if job.Attempts > s.opts.MaxRetries {
 		job.State = StateFailed
 		job.EndTime = s.sim.Now()
+		delete(s.jobs, job.ID)
 		s.failed++
 		s.sim.Recorder().Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobFailed,
 			Node: node, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
@@ -507,21 +639,23 @@ func (s *Service) kill(job *Job) {
 	}
 	s.sim.Recorder().Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobError,
 		Node: node, Agent: job.AgentID, Job: job.ID, Value: backoff})
-	pe := &pendingEvent{}
-	pe.time, pe.seq = s.sim.AtE(backoff, func() { s.requeue(job) })
-	job.fire = pe
+	e := s.newJobEvent(job, job.Attempts, evRequeue)
+	e.time, e.seq = s.sim.AtHandlerE(backoff, e)
+	job.fire = e
 }
 
 // requeue puts a killed job back on the launcher queue after its backoff.
-func (s *Service) requeue(job *Job) {
+func (s *Service) requeue(e *jobEvent) {
+	job := e.job
 	job.State = StateRestartReady
 	job.fire = nil
+	s.recycle(e)
 	s.queue = append(s.queue, job)
 	rec := s.sim.Recorder()
 	rec.Emit(trace.Event{Cat: trace.CatBalsam, Name: trace.EvJobRestart,
 		Node: trace.None, Agent: job.AgentID, Job: job.ID, Value: float64(job.Attempts)})
 	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvQueueDepth,
-		Node: trace.None, Agent: trace.None, Value: float64(len(s.queue))})
+		Node: trace.None, Agent: trace.None, Value: float64(s.QueueLen())})
 	s.dispatch()
 }
 
@@ -546,7 +680,9 @@ func (s *Service) updateCounts() {
 	s.lastChange = now
 	s.busy = s.pool.Busy()
 	s.down = s.pool.Down()
-	s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
+	if !s.opts.NoUtilizationSeries {
+		s.transitions = append(s.transitions, UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
+	}
 	rec := s.sim.Recorder()
 	rec.Emit(trace.Event{Kind: trace.KindCounter, Cat: trace.CatBalsam, Name: trace.EvBusyNodes,
 		Node: trace.None, Agent: trace.None, Value: float64(s.busy)})
@@ -592,6 +728,9 @@ func (s *Service) MeanUtilization() float64 {
 // when now falls exactly on a bucket boundary no zero-width bucket is
 // emitted. A bucket whose capacity was entirely dead reads 0.
 func (s *Service) UtilizationSeries(bucket float64) []float64 {
+	if s.opts.NoUtilizationSeries {
+		return nil
+	}
 	now := s.sim.Now()
 	points := append(append([]UtilizationPoint(nil), s.transitions...),
 		UtilizationPoint{Time: now, Busy: s.busy, Down: s.down})
@@ -732,7 +871,7 @@ func (s *Service) CaptureState() *State {
 		Retries:      s.retries,
 		NodeFailures: s.nodeFailures,
 	}
-	for _, job := range s.queue {
+	for _, job := range s.queue[s.qhead:] {
 		st.Queue = append(st.Queue, job.ID)
 	}
 	for _, job := range s.jobs {
@@ -810,6 +949,7 @@ func RestoreService(sim *hpc.Sim, nodes int, opts Options, st *State) (*Service,
 		s.pool.states[n] = NodeDown
 		s.pool.down++
 	}
+	defer s.pool.rebuildIdle() // the job loop below pokes states directly too
 
 	var events []hpc.ResumeEvent
 	for _, rec := range st.Jobs {
@@ -833,9 +973,10 @@ func RestoreService(sim *hpc.Sim, nodes int, opts Options, st *State) (*Service,
 			events = append(events, hpc.ResumeEvent{
 				Time: rec.FireTime, Seq: rec.FireSeq,
 				Schedule: func() {
-					pe := &pendingEvent{time: rec.FireTime}
-					pe.seq = s.sim.AtTime(rec.FireTime, func() { s.complete(job, attempt, pe) })
-					job.fire = pe
+					e := s.newJobEvent(job, attempt, evComplete)
+					e.time = rec.FireTime
+					e.seq = s.sim.AtTimeHandler(rec.FireTime, e)
+					job.fire = e
 				},
 			})
 		case StateRunError:
@@ -845,9 +986,10 @@ func RestoreService(sim *hpc.Sim, nodes int, opts Options, st *State) (*Service,
 			events = append(events, hpc.ResumeEvent{
 				Time: rec.FireTime, Seq: rec.FireSeq,
 				Schedule: func() {
-					pe := &pendingEvent{time: rec.FireTime}
-					pe.seq = s.sim.AtTime(rec.FireTime, func() { s.requeue(job) })
-					job.fire = pe
+					e := s.newJobEvent(job, 0, evRequeue)
+					e.time = rec.FireTime
+					e.seq = s.sim.AtTimeHandler(rec.FireTime, e)
+					job.fire = e
 				},
 			})
 		}
@@ -864,9 +1006,10 @@ func RestoreService(sim *hpc.Sim, nodes int, opts Options, st *State) (*Service,
 		events = append(events, hpc.ResumeEvent{
 			Time: e.Time, Seq: e.Seq,
 			Schedule: func() {
-				pe := &pendingEvent{time: e.Time}
-				pe.seq = s.sim.AtTime(e.Time, func() { s.removeStale(pe) })
-				s.stale = append(s.stale, pe)
+				ev := s.newJobEvent(nil, 0, evStale)
+				ev.time = e.Time
+				ev.seq = s.sim.AtTimeHandler(e.Time, ev)
+				s.stale = append(s.stale, ev)
 			},
 		})
 	}

@@ -261,7 +261,8 @@ func TestNamesCoveredByRender(t *testing.T) {
 		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 			"fig11", "fig12", "fig13", "table1",
 			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
-			"ablation-evolution", "multiobjective", "faults", "restart", "workers":
+			"ablation-evolution", "multiobjective", "faults", "restart", "workers",
+			"simbench":
 		default:
 			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
 		}

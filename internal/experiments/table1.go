@@ -156,6 +156,8 @@ func Render(id string, sc Scale) (string, error) {
 		return Restart(sc).Render(), nil
 	case "workers":
 		return Workers(sc).Render(), nil
+	case "simbench":
+		return Simbench(sc).Render(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(Names(), ", "))
 	}

@@ -1,0 +1,248 @@
+package hpc
+
+import (
+	"container/heap"
+	"testing"
+
+	"nasgo/internal/rng"
+)
+
+// refQueue is the retained naive container/heap event queue the calendar
+// queue replaced — the differential oracle. It orders by (time, seq)
+// exactly as the original Sim queue did.
+type refEvent struct {
+	time float64
+	seq  int64
+}
+
+type refQueue []refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(refEvent)) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+func (q *refQueue) remove(seq int64) bool {
+	for i, e := range *q {
+		if e.seq == seq {
+			heap.Remove(q, i)
+			return true
+		}
+	}
+	return false
+}
+
+// popCal pops the calendar queue and returns its (time, seq).
+func popCal(t *testing.T, q *calQueue) (float64, int64) {
+	t.Helper()
+	pt, ok := q.peekTime()
+	if !ok {
+		t.Fatal("peekTime on non-empty queue failed")
+	}
+	idx, _ := q.scan()
+	seq := q.arena[idx].seq
+	fn, h, tm, ok := q.pop()
+	if !ok {
+		t.Fatal("pop on non-empty queue failed")
+	}
+	if fn != nil || h != nil {
+		t.Fatal("test events carry no callbacks")
+	}
+	if tm != pt {
+		t.Fatalf("peekTime %g disagrees with popped time %g", pt, tm)
+	}
+	return tm, seq
+}
+
+// TestCalendarQueueDifferential drives the calendar queue and the heap
+// reference through randomized schedule/cancel/pop workloads — same-
+// timestamp bursts, far-future fault events, schedules in the past relative
+// to the wheel's scan position — asserting identical pop order at every
+// step. The push/pop imbalance walks the pending count across grow and
+// shrink resize thresholds.
+func TestCalendarQueueDifferential(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1009} {
+		r := rng.New(seed)
+		var cal calQueue
+		ref := &refQueue{}
+		heap.Init(ref)
+		var seq int64
+		var lastPop float64
+		var live []int64
+
+		push := func(tm float64) {
+			seq++
+			cal.push(tm, seq, nil, nil)
+			heap.Push(ref, refEvent{time: tm, seq: seq})
+			live = append(live, seq)
+		}
+		dropLive := func(s int64) {
+			for i, l := range live {
+				if l == s {
+					live = append(live[:i], live[i+1:]...)
+					return
+				}
+			}
+			t.Fatalf("seed %d: popped unknown seq %d", seed, s)
+		}
+
+		for op := 0; op < 20000; op++ {
+			switch p := r.Float64(); {
+			case p < 0.55:
+				var tm float64
+				switch r.Intn(6) {
+				case 0:
+					tm = lastPop // exactly at the frontier: same-timestamp pile-up
+				case 1:
+					tm = lastPop + float64(r.Intn(4)) // integer collisions: FIFO tie-breaks
+				case 2:
+					tm = lastPop + 1e5 + r.Float64()*1e6 // far-future fault events
+				case 3:
+					tm = lastPop * r.Float64() // in the past of the scan position
+				default:
+					tm = lastPop + r.Float64()*100
+				}
+				push(tm)
+			case p < 0.9:
+				if cal.len() == 0 {
+					if ref.Len() != 0 {
+						t.Fatalf("seed %d: cal empty, ref has %d", seed, ref.Len())
+					}
+					continue
+				}
+				ct, cs := popCal(t, &cal)
+				re := heap.Pop(ref).(refEvent)
+				if ct != re.time || cs != re.seq {
+					t.Fatalf("seed %d op %d: cal popped (%g, %d), ref popped (%g, %d)",
+						seed, op, ct, cs, re.time, re.seq)
+				}
+				lastPop = ct
+				dropLive(cs)
+			default:
+				if len(live) == 0 {
+					// Cancel of a seq that was never scheduled: both must miss.
+					if cal.remove(seq+1000) || ref.remove(seq+1000) {
+						t.Fatalf("seed %d: removed nonexistent event", seed)
+					}
+					continue
+				}
+				i := r.Intn(len(live))
+				s := live[i]
+				okCal := cal.remove(s)
+				okRef := ref.remove(s)
+				if !okCal || !okRef {
+					t.Fatalf("seed %d: cancel of live seq %d: cal=%v ref=%v", seed, s, okCal, okRef)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			if cal.len() != ref.Len() {
+				t.Fatalf("seed %d op %d: cal len %d != ref len %d", seed, op, cal.len(), ref.Len())
+			}
+		}
+
+		// Drain: the tails must agree event for event.
+		for ref.Len() > 0 {
+			ct, cs := popCal(t, &cal)
+			re := heap.Pop(ref).(refEvent)
+			if ct != re.time || cs != re.seq {
+				t.Fatalf("seed %d drain: cal (%g, %d) != ref (%g, %d)", seed, ct, cs, re.time, re.seq)
+			}
+		}
+		if cal.len() != 0 {
+			t.Fatalf("seed %d: cal not empty after drain: %d", seed, cal.len())
+		}
+	}
+}
+
+// TestCalendarQueueFarFuture pins the direct-search fallback: with every
+// pending event beyond a full wheel wrap, pops still come out in exact
+// (time, seq) order.
+func TestCalendarQueueFarFuture(t *testing.T) {
+	var q calQueue
+	times := []float64{9e6, 3e6, 9e6, 6e6, 3e6}
+	for i, tm := range times {
+		q.push(tm, int64(i+1), nil, nil)
+	}
+	want := []struct {
+		tm  float64
+		seq int64
+	}{{3e6, 2}, {3e6, 5}, {6e6, 4}, {9e6, 1}, {9e6, 3}}
+	for _, w := range want {
+		tm, seq := popCal(t, &q)
+		if tm != w.tm || seq != w.seq {
+			t.Fatalf("popped (%g, %d), want (%g, %d)", tm, seq, w.tm, w.seq)
+		}
+	}
+	if _, _, _, ok := q.pop(); ok {
+		t.Fatal("pop on empty queue succeeded")
+	}
+}
+
+// TestCalendarQueueRemove covers unlinking at the head, middle, and tail of
+// a bucket list, plus misses.
+func TestCalendarQueueRemove(t *testing.T) {
+	var q calQueue
+	// Same timestamp: all three land in one bucket, ordered by seq.
+	for i := int64(1); i <= 3; i++ {
+		q.push(5, i, nil, nil)
+	}
+	if q.remove(99) {
+		t.Fatal("removed nonexistent seq")
+	}
+	if !q.remove(2) { // middle
+		t.Fatal("failed to remove middle event")
+	}
+	if !q.remove(1) { // head
+		t.Fatal("failed to remove head event")
+	}
+	if !q.remove(3) { // tail (now sole)
+		t.Fatal("failed to remove tail event")
+	}
+	if q.len() != 0 {
+		t.Fatalf("len %d after removing all", q.len())
+	}
+	if q.remove(3) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+// TestCalendarQueueResizeKeepsOrder forces several grow and shrink resizes
+// and checks the drain order against a sorted oracle.
+func TestCalendarQueueResizeKeepsOrder(t *testing.T) {
+	var q calQueue
+	ref := &refQueue{}
+	heap.Init(ref)
+	// 1000 pushes: way past 2*16, so the wheel grows repeatedly and the
+	// width is re-estimated from the spread each time.
+	r := rng.New(99)
+	for i := int64(1); i <= 1000; i++ {
+		tm := r.Float64() * 5000
+		q.push(tm, i, nil, nil)
+		heap.Push(ref, refEvent{time: tm, seq: i})
+	}
+	// Drain completely: crosses every shrink threshold back down.
+	prevT, prevS := -1.0, int64(-1)
+	for ref.Len() > 0 {
+		ct, cs := popCal(t, &q)
+		re := heap.Pop(ref).(refEvent)
+		if ct != re.time || cs != re.seq {
+			t.Fatalf("drain: cal (%g, %d) != ref (%g, %d)", ct, cs, re.time, re.seq)
+		}
+		if ct < prevT || (ct == prevT && cs <= prevS) {
+			t.Fatalf("pop order went backwards: (%g, %d) after (%g, %d)", ct, cs, prevT, prevS)
+		}
+		prevT, prevS = ct, cs
+	}
+}

@@ -20,48 +20,37 @@
 package hpc
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"nasgo/internal/trace"
 )
 
-// event is one scheduled callback. seq breaks time ties FIFO so simulations
-// are deterministic.
-type event struct {
-	time float64
-	seq  int64
-	fn   func()
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// Handler is a pre-bound event callback: components that schedule events in
+// their steady-state hot path implement Fire on a pooled record and pass it
+// to AtHandlerE/AtTimeHandler, instead of allocating a fresh closure per
+// event the way At/AtE do. Balsam's job completion and requeue events are
+// the canonical users (its jobEvent free list); together with the queue's
+// own record free list this keeps the schedule→dispatch→complete cycle at
+// zero allocations per event (balsam's TestShortSimAllocs pins it).
+type Handler interface{ Fire() }
 
 // Sim is a single-threaded discrete-event simulator. Time is in seconds.
 // All callbacks run on the caller's goroutine inside Run; scheduling from
 // within a callback is the normal way processes continue.
+//
+// Events are ordered by (fire time, sequence number): seq breaks time ties
+// FIFO, so simulations are deterministic. The queue is a calendar queue
+// (queue.go) whose pop order is pinned — by differential tests here and
+// golden traces in internal/search — to be exactly the order the original
+// container/heap implementation produced, so replacing the engine is
+// invisible to every layer above, including checkpoints: pending events are
+// captured per-component as (time, seq) pairs and replayed through
+// ScheduleResume, never as queue internals.
 type Sim struct {
 	now   float64
 	seq   int64
-	queue eventQueue
+	queue calQueue
 	rec   *trace.Recorder
 }
 
@@ -99,7 +88,7 @@ func (s *Sim) At(delay float64, fn func()) {
 		panic(fmt.Sprintf("hpc: negative delay %g", delay))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{time: s.now + delay, seq: s.seq, fn: fn})
+	s.queue.push(s.now+delay, s.seq, fn, nil)
 }
 
 // AtE schedules like At and additionally returns the event's absolute fire
@@ -112,8 +101,34 @@ func (s *Sim) AtE(delay float64, fn func()) (time float64, seq int64) {
 	}
 	s.seq++
 	t := s.now + delay
-	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	s.queue.push(t, s.seq, fn, nil)
 	return t, s.seq
+}
+
+// AtHandlerE schedules h.Fire() after delay seconds of virtual time and
+// returns the event's absolute fire time and sequence number — AtE without
+// the per-event closure allocation, for components that pool their event
+// records (see Handler).
+func (s *Sim) AtHandlerE(delay float64, h Handler) (time float64, seq int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("hpc: negative delay %g", delay))
+	}
+	s.seq++
+	t := s.now + delay
+	s.queue.push(t, s.seq, nil, h)
+	return t, s.seq
+}
+
+// AtTimeHandler schedules h.Fire() at the absolute virtual time t (which
+// must not lie in the past) and returns the event's sequence number —
+// AtTime for a pooled Handler record.
+func (s *Sim) AtTimeHandler(t float64, h Handler) int64 {
+	if t < s.now {
+		panic(fmt.Sprintf("hpc: AtTimeHandler %g before now %g", t, s.now))
+	}
+	s.seq++
+	s.queue.push(t, s.seq, nil, h)
+	return s.seq
 }
 
 // AtTime schedules fn at the absolute virtual time t (which must not lie in
@@ -125,22 +140,26 @@ func (s *Sim) AtTime(t float64, fn func()) int64 {
 		panic(fmt.Sprintf("hpc: AtTime %g before now %g", t, s.now))
 	}
 	s.seq++
-	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	s.queue.push(t, s.seq, fn, nil)
 	return s.seq
 }
 
 // Step runs the next event, returning false when the queue is empty.
 func (s *Sim) Step() bool {
-	if s.queue.Len() == 0 {
+	fn, h, t, ok := s.queue.pop()
+	if !ok {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*event)
-	if e.time < s.now {
+	if t < s.now {
 		panic("hpc: event queue went backwards")
 	}
-	s.now = e.time
+	s.now = t
 	s.rec.Emit(trace.Event{Cat: trace.CatSim, Name: trace.EvDispatch, Node: trace.None, Agent: trace.None})
-	e.fn()
+	if fn != nil {
+		fn()
+	} else {
+		h.Fire()
+	}
 	return true
 }
 
@@ -149,8 +168,12 @@ func (s *Sim) Step() bool {
 // to exactly until). It returns the number of events processed.
 func (s *Sim) Run(until float64) int {
 	n := 0
-	for s.queue.Len() > 0 {
-		if s.queue[0].time > until {
+	for {
+		next, ok := s.queue.peekTime()
+		if !ok {
+			break
+		}
+		if next > until {
 			s.now = until
 			return n
 		}
@@ -169,13 +192,16 @@ func (s *Sim) Run(until float64) int {
 // time whether or not a horizon was supplied — the invariant that makes a
 // walltime-chained search log byte-identical to an uninterrupted one.
 func (s *Sim) RunUntil(until float64) bool {
-	for s.queue.Len() > 0 {
-		if s.queue[0].time > until {
+	for {
+		next, ok := s.queue.peekTime()
+		if !ok {
+			return true
+		}
+		if next > until {
 			return false
 		}
 		s.Step()
 	}
-	return true
 }
 
 // RunAll processes every queued event regardless of horizon.
@@ -188,7 +214,7 @@ func (s *Sim) RunAll() int {
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return s.queue.Len() }
+func (s *Sim) Pending() int { return s.queue.len() }
 
 // ResumeEvent is one pending event captured at a checkpoint cut: its
 // absolute fire time, its sequence number in the original simulator (which

@@ -28,6 +28,13 @@
 // randomness — a run chained across any number of allocations produces a
 // log bit-identical to the uninterrupted run, including under node
 // failures and stragglers.
+//
+// Capturing pending events as (time, seq) data rather than queue internals
+// also makes checkpoints transparent to the simulator's engine: a
+// checkpoint written when hpc.Sim used container/heap restores into the
+// calendar-queue engine (and vice versa) with bit-identical continuation,
+// because only the pop order is contractual. TestShortSimQueueGoldenTraces
+// pins this with a committed heap-era checkpoint.
 package search
 
 import (

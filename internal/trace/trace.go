@@ -221,6 +221,21 @@ func (r *Recorder) Emit(ev Event) {
 	r.dropped++
 }
 
+// Preallocate eagerly grows the ring buffer to its full capacity, so that
+// every subsequent Emit is a pure store — no append growth ever again. The
+// lazy-growth default is right for short traces; allocation-sensitive
+// steady-state loops (balsam's TestShortSimAllocs, the simbench experiment)
+// call this once up front. Buffered events and the drop counter are
+// untouched. Nil-safe.
+func (r *Recorder) Preallocate() {
+	if r == nil || cap(r.buf) >= r.cap {
+		return
+	}
+	buf := make([]Event, len(r.buf), r.cap)
+	copy(buf, r.buf)
+	r.buf = buf
+}
+
 // Len returns the number of buffered events. Nil-safe.
 func (r *Recorder) Len() int {
 	if r == nil {

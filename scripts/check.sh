@@ -45,15 +45,19 @@ go test -race -timeout 30m ./internal/campaign/
 # must stay thoroughly tested — a regression here can silently corrupt
 # recorded runs, checkpoint chains, reward determinism, the float
 # bit-identity the arena guarantees, or the kill-anywhere durability the
-# campaign server promises.
+# campaign server promises. hpc and balsam join the gate with the
+# calendar-queue engine: the event queue and the job state machine decide
+# every golden trace in the repo, so their differential/fuzz/alloc suites
+# must keep covering them.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/fsim/ \
-    ./internal/evaluator/ ./internal/tensor/ ./internal/nn/ ./internal/campaign/ >/dev/null
+    ./internal/evaluator/ ./internal/tensor/ ./internal/nn/ ./internal/campaign/ \
+    ./internal/hpc/ ./internal/balsam/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign coverage ${total}%"
+echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam coverage ${total}%"
 echo "check.sh: OK"
