@@ -495,3 +495,27 @@ reduction              %9.1f%%  %9.1f%%  %9.1f%%
 	b.ReportMetric(pct(before.BytesPerOp, after.BytesPerOp), "bytes_reduction_pct")
 	b.ReportMetric(pct(before.AllocsPerOp, after.AllocsPerOp), "allocs_reduction_pct")
 }
+
+// --- Tabular benchmark tournament (DESIGN.md §15) ---
+
+// BenchmarkTournament runs the Li–Talwalkar strategy tournament on the
+// tabulated combo-micro space: all four strategies over the same seed set,
+// rewards served from the table artifact under bench_results/nasbench/
+// (built — crash-consistently — on first run, reused afterwards).
+func BenchmarkTournament(b *testing.B) {
+	r := experiments.Tournament(benchScale)
+	writeResult(b, "tournament", r.Render())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Digest
+	}
+	b.ReportMetric(float64(r.Runs), "searches")
+	b.ReportMetric(float64(r.Seeds), "seeds_per_strategy")
+	b.ReportMetric(float64(r.TableTrained), "archs_trained")
+	for _, s := range r.Board {
+		if s.Strategy == search.A3C {
+			b.ReportMetric(s.Median, "a3c_median_best")
+			b.ReportMetric(float64(s.Oracle), "a3c_oracle_hits")
+		}
+	}
+}

@@ -10,6 +10,7 @@
 //	nas-bench -exp restart -trace results/restart.trace.jsonl
 //	nas-bench -exp workers -workers 0  # time the evaluator pool at GOMAXPROCS
 //	nas-bench -exp simbench            # DES-core throughput: events/sec, bytes/event
+//	nas-bench -exp tournament          # 4 strategies × common seed set on the tabular benchmark
 //	nas-bench -resume results/ckpt/alloc-001.ckpt -trace resumed.trace.jsonl
 //	nas-bench -torture -scale quick  # power-cut every fs op of a campaign
 //
@@ -60,7 +61,7 @@ func notifyStop() func() bool {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, restart, workers, simbench, ...) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (fig4..fig13, table1, faults, restart, workers, simbench, tournament, ...) or 'all'")
 		scale    = flag.String("scale", "quick", "scale preset: quick, default, or paper")
 		workers  = flag.Int("workers", 1, "concurrent reward-estimation trainings on the host (0 = GOMAXPROCS, 1 = serial); results are bit-identical at any setting")
 		out      = flag.String("out", "bench_results", "write each rendering to <out>/<exp>.txt ('' disables)")

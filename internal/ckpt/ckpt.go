@@ -46,6 +46,11 @@ const headerLen = 8 + 4 + 8 + sha256.Size
 // errors (EIO, ENOSPC) do NOT wrap ErrCorrupt; test with IsTransient.
 var ErrCorrupt = errors.New("ckpt: file corrupted")
 
+// ErrVersion marks a structurally sound frame whose format version is
+// above what this build reads — a file from the future, not damage.
+// Quarantining or rebuilding over it would destroy good data; surface it.
+var ErrVersion = errors.New("ckpt: unsupported format version")
+
 // IsTransient reports whether err is a retryable I/O condition — a
 // transient device error or a full disk — rather than corruption or a
 // programming error. Both real syscall failures and fsim-injected faults
@@ -170,8 +175,11 @@ func ReadFileFS(fsys fsim.FS, path, magic string, maxVersion uint32) (payload []
 		return nil, 0, corruptErr(path, "bad magic %q, want %q", raw[:8], magic)
 	}
 	version = binary.BigEndian.Uint32(raw[8:12])
-	if version == 0 || version > maxVersion {
-		return nil, 0, fmt.Errorf("ckpt: %s: unsupported format version %d (this build reads 1..%d)", path, version, maxVersion)
+	if version == 0 {
+		return nil, 0, corruptErr(path, "format version 0 (writers start at 1)")
+	}
+	if version > maxVersion {
+		return nil, 0, fmt.Errorf("ckpt: %s: format version %d (this build reads 1..%d): %w", path, version, maxVersion, ErrVersion)
 	}
 	plen := binary.BigEndian.Uint64(raw[12:20])
 	want := sha256.Size + int(plen)

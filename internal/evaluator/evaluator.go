@@ -133,6 +133,18 @@ type Config struct {
 	NoArena bool
 	// Seed drives per-task weight initialization and subsampling.
 	Seed uint64
+	// BenchSeed, when nonzero, switches reward estimation to benchmark
+	// mode: the fidelity-subsample stream and every per-task training
+	// stream derive from BenchSeed and the architecture key alone — never
+	// from Seed or the submitting agent — so each architecture has exactly
+	// one reward, identical across agents and across searches. This is the
+	// protocol a tabular NAS benchmark requires (NAS-Bench-201, DESIGN.md
+	// §15): a table built at BenchSeed B replays any search whose evaluator
+	// also runs at BenchSeed B, whatever its search seed. Caches stay
+	// per-agent; only the reward values coincide. The json tag keeps
+	// zero-value (live-mode) logs byte-identical to pre-benchmark ones:
+	// committed golden digests hash the log JSON, Config included.
+	BenchSeed uint64 `json:",omitempty"`
 }
 
 func (c Config) withDefaults(b *candle.Benchmark) Config {
@@ -197,6 +209,35 @@ type Evaluator struct {
 	// sem gates the concurrent-training pool (pool.go); nil when
 	// Cfg.Workers resolves to 1, which disables the pool entirely.
 	sem chan struct{}
+
+	// src, when non-nil, serves raw reward metrics by architecture key in
+	// place of real training (SetRewardSource). Everything else — virtual
+	// plan, Balsam task, caches, RNG positions — runs exactly as live.
+	src RewardSource
+}
+
+// RewardSource serves precomputed raw validation metrics by architecture
+// key — the replay backend of a tabular NAS benchmark artifact
+// (internal/nasbench). The metric is the value trainReal would have
+// returned (reward shaping is applied by the evaluator at replay time, and
+// a non-finite metric reproduces the live failure path bit-for-bit).
+type RewardSource interface {
+	// Metric returns the stored raw metric for key, and whether the key is
+	// tabulated.
+	Metric(key string) (float64, bool)
+}
+
+// SetRewardSource attaches a replay source. It must be called before the
+// first Submit, and the evaluator must run in benchmark mode
+// (Cfg.BenchSeed != 0) with the source's build configuration — otherwise
+// the served rewards would not match what live training produces and the
+// replay guarantee is void. A submission whose key the source does not
+// cover panics: the search space must be the tabulated sub-space.
+func (e *Evaluator) SetRewardSource(src RewardSource) {
+	if src != nil && e.Cfg.BenchSeed == 0 {
+		panic("evaluator: reward source requires benchmark mode (Config.BenchSeed != 0)")
+	}
+	e.src = src
 }
 
 // New creates an evaluator over the given simulator and Balsam service.
@@ -204,6 +245,12 @@ func New(sim *hpc.Sim, service *balsam.Service, bench *candle.Benchmark, sp *spa
 	cfg = cfg.withDefaults(bench)
 	if cfg.Fidelity <= 0 || cfg.Fidelity > 1 {
 		panic(fmt.Sprintf("evaluator: fidelity %g out of (0,1]", cfg.Fidelity))
+	}
+	rootSeed := cfg.Seed
+	if cfg.BenchSeed != 0 {
+		// Benchmark mode: the subsample (and thus every reward) is pinned
+		// by BenchSeed, independent of the search-derived Seed.
+		rootSeed = cfg.BenchSeed
 	}
 	e := &Evaluator{
 		Bench:      bench,
@@ -213,7 +260,7 @@ func New(sim *hpc.Sim, service *balsam.Service, bench *candle.Benchmark, sp *spa
 		service:    service,
 		caches:     map[int]map[string]*Result{},
 		agentSeeds: map[int]uint64{},
-		rootRand:   rng.New(cfg.Seed ^ 0xe7a10ae),
+		rootRand:   rng.New(rootSeed ^ 0xe7a10ae),
 		finished:   map[int][]*Result{},
 		inflight:   map[int64]*inflightRecord{},
 	}
@@ -298,16 +345,7 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 		return 0
 	}
 	stats := paperIR.Stats()
-	virtTrainSamples := int(float64(e.Bench.PaperTrainSamples) * e.Cfg.Fidelity)
-	plan := hpc.PlanRewardEstimate(stats, hpc.EvalTaskConfig{
-		Device:       hpc.KNL,
-		TrainSamples: virtTrainSamples,
-		ValSamples:   e.Bench.PaperValSamples,
-		BatchSize:    e.Bench.BatchSize,
-		Epochs:       e.Cfg.Epochs,
-		StageSeconds: e.Bench.FullStageSeconds * e.Cfg.Fidelity,
-		Timeout:      e.Cfg.Timeout,
-	})
+	plan := e.paperPlan(stats)
 
 	// Real training at scaled dimensions, eagerly computed; its reward is
 	// revealed when the virtual task completes. The prologue — RNG stream
@@ -330,8 +368,20 @@ func (e *Evaluator) Submit(agentID int, choices []int, onDone func(*Result)) int
 		Duration: plan.Duration,
 	}
 	var fut *future
-	if e.sem == nil {
-		reward := e.shapeReward(e.trainReal(taskRand, ir, plan), stats)
+	if e.sem == nil || e.src != nil {
+		// Serial path. A reward source replaces the training with a table
+		// lookup — instant on the host, so the worker pool would have
+		// nothing to overlap and is bypassed at every Workers setting.
+		var reward float64
+		if e.src != nil {
+			metric, ok := e.src.Metric(key)
+			if !ok {
+				panic(fmt.Sprintf("evaluator: architecture %s missing from reward table (search space must be the tabulated sub-space)", key))
+			}
+			reward = e.shapeReward(metric, stats)
+		} else {
+			reward = e.shapeReward(e.trainReal(taskRand, ir, plan), stats)
+		}
 		res.Reward = reward
 		if !isFinite(reward) {
 			// A diverged training run (NaN/Inf loss) must surface as a failed
@@ -415,12 +465,65 @@ func (e *Evaluator) failCompile(agentID int, key string, choices []int, msg stri
 	})
 }
 
+// paperPlan builds the paper-dimension virtual task plan for one
+// architecture — the single source of timing for Submit and TabulateMetric.
+func (e *Evaluator) paperPlan(stats space.ArchStats) hpc.RewardEstimate {
+	virtTrainSamples := int(float64(e.Bench.PaperTrainSamples) * e.Cfg.Fidelity)
+	return hpc.PlanRewardEstimate(stats, hpc.EvalTaskConfig{
+		Device:       hpc.KNL,
+		TrainSamples: virtTrainSamples,
+		ValSamples:   e.Bench.PaperValSamples,
+		BatchSize:    e.Bench.BatchSize,
+		Epochs:       e.Cfg.Epochs,
+		StageSeconds: e.Bench.FullStageSeconds * e.Cfg.Fidelity,
+		Timeout:      e.Cfg.Timeout,
+	})
+}
+
+// TabulateMetric runs one architecture's reward estimation outside the
+// virtual machine: the same compiles, the same plan, the same training draws
+// a live Submit performs, but no task, no cache, no trace — the
+// internal/nasbench builder's path. It requires benchmark mode, where the
+// training stream depends on the architecture alone, so the returned raw
+// metric is exactly what any live bench-mode Submit of the same architecture
+// would feed shapeReward (non-finite when the training diverged — stored
+// as-is so replay reproduces the failure path bit-for-bit). A compile
+// failure at either dimension set returns an error carrying the same
+// message Submit's failure path records.
+func (e *Evaluator) TabulateMetric(choices []int) (metric float64, plan hpc.RewardEstimate, err error) {
+	if e.Cfg.BenchSeed == 0 {
+		panic("evaluator: TabulateMetric requires benchmark mode (Config.BenchSeed != 0)")
+	}
+	paperIR, err := e.Space.Compile(choices, e.Space.PaperInputDims(), 1.0)
+	if err != nil {
+		return 0, hpc.RewardEstimate{}, fmt.Errorf("evaluator: compile at paper dims: %v", err)
+	}
+	plan = e.paperPlan(paperIR.Stats())
+	taskRand, ir, err := e.prepareTraining(0, choices)
+	if err != nil {
+		return 0, hpc.RewardEstimate{}, fmt.Errorf("evaluator: %v", err)
+	}
+	return e.trainReal(taskRand, ir, plan), plan, nil
+}
+
+// taskStream derives the per-task training stream. Live mode mixes the
+// agent's seed (drawn from rootRand at first use — a shared-stream draw
+// that replay must reproduce identically); benchmark mode depends on the
+// architecture alone, so every agent trains the same weights and a reward
+// table needs one row per architecture.
+func (e *Evaluator) taskStream(agentID int, key string) *rng.Rand {
+	if e.Cfg.BenchSeed != 0 {
+		return rng.New(e.Cfg.BenchSeed ^ hashKey(key))
+	}
+	return rng.New(e.agentSeed(agentID) ^ hashKey(key))
+}
+
 // prepareTraining is the synchronous prologue of a real reward estimation:
 // the per-task RNG stream (derived in Submit order, so stream positions are
 // identical at every Workers setting) and the scaled-dimension compile,
 // whose failure must surface at submit time.
 func (e *Evaluator) prepareTraining(agentID int, choices []int) (*rng.Rand, *space.ArchIR, error) {
-	taskRand := rng.New(e.agentSeed(agentID) ^ hashKey(e.Space.Hash(choices)))
+	taskRand := e.taskStream(agentID, e.Space.Hash(choices))
 	ir, err := e.Space.Compile(choices, e.Bench.Train.InputDims(), e.Bench.UnitScale)
 	if err != nil {
 		return nil, nil, fmt.Errorf("compile at scaled dims: %v", err)

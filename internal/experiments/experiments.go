@@ -166,6 +166,6 @@ func Names() []string {
 		"fig11", "fig12", "fig13", "table1",
 		"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
 		"ablation-evolution", "multiobjective", "faults", "restart", "workers",
-		"simbench",
+		"simbench", "tournament",
 	}
 }

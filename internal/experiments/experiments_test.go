@@ -262,7 +262,7 @@ func TestNamesCoveredByRender(t *testing.T) {
 			"fig11", "fig12", "fig13", "table1",
 			"ablation-clip", "ablation-cache", "ablation-mirror", "ablation-staleness",
 			"ablation-evolution", "multiobjective", "faults", "restart", "workers",
-			"simbench":
+			"simbench", "tournament":
 		default:
 			t.Fatalf("Names() lists %q, which Render does not dispatch", id)
 		}

@@ -158,6 +158,8 @@ func Render(id string, sc Scale) (string, error) {
 		return Workers(sc).Render(), nil
 	case "simbench":
 		return Simbench(sc).Render(), nil
+	case "tournament":
+		return Tournament(sc).Render(), nil
 	default:
 		return "", fmt.Errorf("experiments: unknown experiment %q (have %s)", id, strings.Join(Names(), ", "))
 	}

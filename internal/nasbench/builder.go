@@ -1,0 +1,234 @@
+package nasbench
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"nasgo/internal/balsam"
+	"nasgo/internal/candle"
+	"nasgo/internal/ckpt"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/fsim"
+	"nasgo/internal/hpc"
+	"nasgo/internal/space"
+)
+
+// maxEnumerate caps the sub-space size the builder will enumerate; beyond
+// it, tabulation is the wrong tool.
+const maxEnumerate = 1 << 16
+
+// BuildConfig parameterizes one build (or resume — the two are the same
+// call; the WAL decides where work restarts).
+type BuildConfig struct {
+	// Bench and Space are the benchmark and the bounded sub-space (built
+	// with space.Restrict; Space.EnumerateSize must fit the enumeration cap).
+	Bench *candle.Benchmark
+	Space *space.Space
+	// Eval is the reward-estimation configuration. BenchSeed must be
+	// nonzero: a table requires benchmark mode, where every reward depends
+	// on the architecture alone.
+	Eval evaluator.Config
+	// Dir is the artifact directory: WAL segments while building, the
+	// TableFile artifact once finalized.
+	Dir string
+	// FS routes all I/O; nil selects the real filesystem. The builder never
+	// touches os.* directly (CLAUDE.md: durability-path I/O goes through
+	// the fsim seam).
+	FS fsim.FS
+	// MaxTrain, when > 0, stops the session after training that many new
+	// architectures, leaving a durable resumable WAL — the kill/resume
+	// tests' deterministic knob. 0 builds to completion.
+	MaxTrain int
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// BuildReport summarizes one build session.
+type BuildReport struct {
+	// Total is the sub-space cardinality; Recovered the records served by
+	// the durable WAL or a finished artifact (never retrained); Trained the
+	// records this session trained.
+	Total, Recovered, Trained int
+	// TablePath is the artifact location; Done reports it exists and is
+	// valid (false after a MaxTrain-bounded session).
+	TablePath string
+	Done      bool
+}
+
+// Build enumerates the sub-space and trains every architecture once,
+// journaling each record to the WAL and finalizing the complete record set
+// into the immutable table artifact. Killed at ANY point — power cut
+// included — a re-run resumes from the last durable record without
+// retraining it, and the finalized artifact is byte-identical to an
+// uninterrupted build's (training is deterministic in BenchSeed, and
+// records carry nothing timeline-dependent).
+//
+// Recovery policy: a valid artifact ends the build (leftover segments are
+// janitored); a structurally damaged artifact is quarantined and rebuilt
+// from the WAL, which stays authoritative until a valid artifact exists —
+// the case a crash under fsync-lying firmware leaves. Transient I/O (EIO,
+// ENOSPC — see ckpt.IsTransient) aborts the session with the error and is
+// safe to retry; it is never confused with corruption.
+func Build(cfg BuildConfig) (*BuildReport, error) {
+	if cfg.Eval.BenchSeed == 0 {
+		return nil, fmt.Errorf("nasbench: build requires benchmark mode (Eval.BenchSeed != 0)")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("nasbench: build needs a directory")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fsim.OS
+	}
+	total, err := cfg.Space.EnumerateSize(maxEnumerate)
+	if err != nil {
+		return nil, err
+	}
+	if err := fsys.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nasbench: create %s: %w", cfg.Dir, err)
+	}
+	tablePath := filepath.Join(cfg.Dir, TableFile)
+	rep := &BuildReport{Total: total, TablePath: tablePath}
+
+	// The evaluator's defaulted config is the table's binding metadata, so
+	// construct it before deciding anything (cheap: no training happens).
+	sim := hpc.NewSim()
+	ev := evaluator.New(sim, balsam.NewService(sim, 1), cfg.Bench, cfg.Space, cfg.Eval)
+	meta := Meta{Bench: cfg.Bench.Name, Space: cfg.Space.Name, Size: total, Eval: bindingConfig(ev.Cfg)}
+
+	// A valid artifact ends the build; a corrupt one is quarantined and the
+	// WAL rebuilds it. Anything transient aborts, retryable.
+	switch t, err := ReadTableFS(fsys, tablePath); {
+	case err == nil:
+		if t.Meta != meta {
+			return nil, fmt.Errorf("nasbench: %s was built for %s/%s size %d with %+v, not this configuration",
+				tablePath, t.Meta.Bench, t.Meta.Space, t.Meta.Size, t.Meta.Eval)
+		}
+		rep.Recovered, rep.Done = total, true
+		if err := removeSegments(fsys, cfg.Dir); err != nil {
+			return nil, fmt.Errorf("nasbench: janitor %s: %w", cfg.Dir, err)
+		}
+		return rep, nil
+	case errors.Is(err, fs.ErrNotExist):
+	case errors.Is(err, ckpt.ErrCorrupt):
+		logf("nasbench: quarantining damaged %s; rebuilding from wal", tablePath)
+		if rmErr := fsys.Remove(tablePath); rmErr != nil {
+			return nil, fmt.Errorf("nasbench: quarantine %s: %w", tablePath, rmErr)
+		}
+		if sErr := fsys.SyncDir(cfg.Dir); sErr != nil {
+			return nil, fmt.Errorf("nasbench: quarantine %s: %w", tablePath, sErr)
+		}
+	default:
+		return nil, err
+	}
+
+	// Recover the durable record prefix and verify it belongs to this build.
+	payloads, maxSeg, err := scanSegments(fsys, cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := decodeRecords(payloads)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) > total {
+		return nil, fmt.Errorf("nasbench: wal in %s holds %d records but the sub-space has %d architectures — wrong space?",
+			cfg.Dir, len(recs), total)
+	}
+	for i := range recs {
+		if want := cfg.Space.Hash(cfg.Space.ChoicesAt(i)); recs[i].Key != want {
+			return nil, fmt.Errorf("nasbench: wal record %d keys %s, but %s enumerates %s there — wrong space or seed",
+				i, recs[i].Key, cfg.Space.Name, want)
+		}
+	}
+	rep.Recovered = len(recs)
+	logf("nasbench: %s: recovered %d/%d records", cfg.Dir, len(recs), total)
+
+	// Train the remainder, one durable WAL record per architecture.
+	if len(recs) < total && (cfg.MaxTrain <= 0 || rep.Trained < cfg.MaxTrain) {
+		w, err := newSegment(fsys, cfg.Dir, maxSeg+1)
+		if err != nil {
+			return nil, err
+		}
+		for i := len(recs); i < total; i++ {
+			if cfg.MaxTrain > 0 && rep.Trained >= cfg.MaxTrain {
+				break
+			}
+			rec := buildRecord(ev, cfg.Space, i)
+			payload, err := encodeRecord(rec)
+			if err != nil {
+				w.close()
+				return nil, err
+			}
+			if err := w.append(payload); err != nil {
+				w.close()
+				return nil, err
+			}
+			recs = append(recs, rec)
+			rep.Trained++
+		}
+		if err := w.close(); err != nil {
+			return nil, fmt.Errorf("nasbench: close wal segment: %w", err)
+		}
+		logf("nasbench: %s: trained %d records", cfg.Dir, rep.Trained)
+	}
+	if len(recs) < total {
+		return rep, nil // MaxTrain-bounded session; resumable
+	}
+
+	// Finalize: atomic artifact, then the WAL is redundant.
+	if err := WriteTableFS(fsys, tablePath, &Table{Meta: meta, Records: recs}); err != nil {
+		return nil, err
+	}
+	if err := removeSegments(fsys, cfg.Dir); err != nil {
+		return nil, fmt.Errorf("nasbench: janitor %s: %w", cfg.Dir, err)
+	}
+	rep.Done = true
+	logf("nasbench: %s: finalized %d records", tablePath, total)
+	return rep, nil
+}
+
+// buildRecord trains enumeration index i into its table record.
+func buildRecord(ev *evaluator.Evaluator, sp *space.Space, i int) Record {
+	choices := sp.ChoicesAt(i)
+	rec := Record{Index: i, Key: sp.Hash(choices)}
+	metric, plan, err := ev.TabulateMetric(choices)
+	if err != nil {
+		rec.Failed = true
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Metric = metric
+	rec.Attempts = 1
+	rec.Duration = plan.Duration
+	return rec
+}
+
+// BuildOrLoad is the memoizing entry point experiments use: a finished
+// artifact loads instantly; anything else builds (resuming a durable WAL)
+// and then loads.
+func BuildOrLoad(cfg BuildConfig) (*Table, *BuildReport, error) {
+	rep, err := Build(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !rep.Done {
+		return nil, rep, fmt.Errorf("nasbench: build of %s stopped at %d/%d records (MaxTrain bound)",
+			cfg.Dir, rep.Recovered+rep.Trained, rep.Total)
+	}
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fsim.OS
+	}
+	t, err := ReadTableFS(fsys, rep.TablePath)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, rep, nil
+}

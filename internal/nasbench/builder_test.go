@@ -1,0 +1,237 @@
+package nasbench
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"nasgo/internal/candle"
+	"nasgo/internal/ckpt"
+	"nasgo/internal/evaluator"
+	"nasgo/internal/fsim"
+)
+
+// Shared fast-tier build fixture: the combo-nano sub-space (9 archs) at the
+// campaign tests' cheap training knobs. BenchSeed is arbitrary but fixed —
+// every test that compares against a live run must use the same value.
+const (
+	testBenchSeed  = 0xb5eed
+	testCandleSeed = 7
+)
+
+func testBench() *candle.Benchmark {
+	return candle.NewCombo(candle.Config{Seed: testCandleSeed})
+}
+
+func testEval() evaluator.Config {
+	return evaluator.Config{
+		BenchSeed:     testBenchSeed,
+		RealEpochs:    1,
+		RealBatchSize: 64,
+		Workers:       1,
+	}
+}
+
+func nanoBuild(fsys fsim.FS, dir string) BuildConfig {
+	return BuildConfig{
+		Bench: testBench(),
+		Space: ComboNano(),
+		Eval:  testEval(),
+		Dir:   dir,
+		FS:    fsys,
+	}
+}
+
+// buildNanoTable builds (or resumes) the shared nano table once per test
+// process on its own MemFS and returns table + raw artifact bytes.
+func buildNanoTable(t testing.TB) (*Table, []byte) {
+	t.Helper()
+	mem := fsim.NewMemFS()
+	rep, err := Build(nanoBuild(mem, "/bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done {
+		t.Fatalf("build not done: %+v", rep)
+	}
+	tbl, err := ReadTableFS(mem, rep.TablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := mem.ReadFile(rep.TablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, raw
+}
+
+func TestShortBuildFinalizesAndRereads(t *testing.T) {
+	mem := fsim.NewMemFS()
+	rep, err := Build(nanoBuild(mem, "/bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done || rep.Total != 9 || rep.Trained != 9 || rep.Recovered != 0 {
+		t.Fatalf("fresh build report: %+v", rep)
+	}
+	tbl, err := ReadTableFS(mem, rep.TablePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := ComboNano()
+	if tbl.Meta.Bench != "Combo" || tbl.Meta.Space != "combo-nano" || tbl.Meta.Size != 9 {
+		t.Fatalf("table meta: %+v", tbl.Meta)
+	}
+	if tbl.Meta.Eval.BenchSeed != testBenchSeed {
+		t.Fatalf("meta lost the bench seed: %+v", tbl.Meta.Eval)
+	}
+	finite := 0
+	for i, r := range tbl.Records {
+		if want := sp.Hash(sp.ChoicesAt(i)); r.Key != want {
+			t.Fatalf("record %d keys %s, enumeration says %s", i, r.Key, want)
+		}
+		if !r.Failed {
+			if got, ok := tbl.Metric(r.Key); !ok || got != r.Metric && !(math.IsNaN(got) && math.IsNaN(r.Metric)) {
+				t.Fatalf("Metric(%s) = %v,%v, record holds %v", r.Key, got, ok, r.Metric)
+			}
+			if r.Attempts != 1 || r.Duration <= 0 {
+				t.Fatalf("record %d: attempts %d, duration %g", i, r.Attempts, r.Duration)
+			}
+			if !math.IsNaN(r.Metric) && !math.IsInf(r.Metric, 0) {
+				finite++
+			}
+		}
+	}
+	if finite == 0 {
+		t.Fatal("no record carries a finite metric")
+	}
+	if key, best := tbl.Best(); key == "" || math.IsInf(best, -1) {
+		t.Fatalf("Best() = %q, %g", key, best)
+	}
+	// The WAL must be gone after finalize.
+	if payloads, _, err := scanSegments(mem, "/bench"); err != nil || len(payloads) != 0 {
+		t.Fatalf("segments survive finalize: %d payloads, err %v", len(payloads), err)
+	}
+
+	// A re-run recovers everything from the artifact and trains nothing.
+	rep2, err := Build(nanoBuild(mem, "/bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Done || rep2.Trained != 0 || rep2.Recovered != 9 {
+		t.Fatalf("memoized build report: %+v", rep2)
+	}
+}
+
+// TestShortBuildResumeByteIdentical pins the resume protocol without fault
+// injection: a session stopped after every prefix length, then resumed to
+// completion, must finalize to the exact bytes of the uninterrupted build
+// and never retrain a durable record.
+func TestShortBuildResumeByteIdentical(t *testing.T) {
+	_, ref := buildNanoTable(t)
+	for stop := 1; stop < 9; stop += 3 {
+		mem := fsim.NewMemFS()
+		cfg := nanoBuild(mem, "/bench")
+		cfg.MaxTrain = stop
+		rep, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Done || rep.Trained != stop {
+			t.Fatalf("stop=%d: bounded session: %+v", stop, rep)
+		}
+		cfg.MaxTrain = 0
+		rep2, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep2.Done || rep2.Recovered != stop || rep2.Trained != 9-stop {
+			t.Fatalf("stop=%d: resume retrained durable records: %+v", stop, rep2)
+		}
+		raw, err := mem.ReadFile(rep2.TablePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(raw, ref) {
+			t.Fatalf("stop=%d: resumed artifact differs from uninterrupted build", stop)
+		}
+	}
+}
+
+func TestShortBuildRejectsForeignState(t *testing.T) {
+	mem := fsim.NewMemFS()
+	if _, err := Build(nanoBuild(mem, "/bench")); err != nil {
+		t.Fatal(err)
+	}
+	// Same dir, different sub-space: the artifact meta must refuse.
+	cfg := nanoBuild(mem, "/bench")
+	cfg.Space = ComboMicro()
+	if _, err := Build(cfg); err == nil {
+		t.Fatal("build over a foreign artifact succeeded")
+	}
+
+	// Durable WAL from one space, resumed with another: key check refuses.
+	mem2 := fsim.NewMemFS()
+	cfg2 := nanoBuild(mem2, "/bench")
+	cfg2.MaxTrain = 2
+	if _, err := Build(cfg2); err != nil {
+		t.Fatal(err)
+	}
+	cfg2.Space = ComboMicro()
+	cfg2.MaxTrain = 0
+	if _, err := Build(cfg2); err == nil {
+		t.Fatal("resume with the wrong sub-space succeeded")
+	}
+
+	// Benchmark mode is mandatory.
+	cfg3 := nanoBuild(fsim.NewMemFS(), "/bench")
+	cfg3.Eval.BenchSeed = 0
+	if _, err := Build(cfg3); err == nil {
+		t.Fatal("build without BenchSeed succeeded")
+	}
+}
+
+// TestShortBuildQuarantinesCorruptArtifact: a torn table artifact (what
+// fsync-lying firmware leaves) is quarantined and rebuilt from the WAL,
+// not trusted and not retried forever.
+func TestShortBuildQuarantinesCorruptArtifact(t *testing.T) {
+	_, ref := buildNanoTable(t)
+	mem := fsim.NewMemFS()
+	if _, err := Build(nanoBuild(mem, "/bench")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("/bench", TableFile)
+	raw, err := mem.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mem.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTableFS(mem, path); !errors.Is(err, ckpt.ErrCorrupt) {
+		t.Fatalf("torn artifact error: %v", err)
+	}
+	rep, err := Build(nanoBuild(mem, "/bench"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Done {
+		t.Fatalf("rebuild after quarantine: %+v", rep)
+	}
+	got, err := mem.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("rebuilt artifact differs from the reference build")
+	}
+}

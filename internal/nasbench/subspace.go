@@ -1,0 +1,68 @@
+package nasbench
+
+import (
+	"fmt"
+
+	"nasgo/internal/space"
+)
+
+// freeRestrict pins every decision of s to option 0 except the listed free
+// decisions (nil keep = all options) and the keep overrides, then restricts
+// under the given name.
+func freeRestrict(s *space.Space, name string, free map[int][]int) *space.Space {
+	keep := make([][]int, s.NumDecisions())
+	for i := range keep {
+		keep[i] = space.Pin(0)
+	}
+	for i, sel := range free {
+		if i < 0 || i >= len(keep) {
+			panic(fmt.Sprintf("nasbench: free decision %d out of %d", i, len(keep)))
+		}
+		keep[i] = sel
+	}
+	sub, err := space.Restrict(s, name, keep)
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+// connectDecision locates the Connect decision of the small Combo space by
+// name, so the sub-spaces below stay correct if catalog traversal order
+// ever changes (the space-size pins would catch that first).
+func connectDecision(s *space.Space) int {
+	for i := 0; i < s.NumDecisions(); i++ {
+		if s.Decision(i).Name == "C1.B1.connect" {
+			return i
+		}
+	}
+	panic("nasbench: combo-small has no C1.B1.connect decision")
+}
+
+// ComboMicro is the tabulated tournament sub-space of combo-small: the
+// first MLP node of the cell-expression chain ranges over all 13 §3.1.1
+// options and the C1 Connect decision over all 9, every other decision
+// pinned to Identity/Null — 13 × 9 = 117 architectures, every one trained
+// once by the builder. Small enough to tabulate in seconds, structured
+// enough that strategies differ: the free pair spans one
+// representation-capacity axis and one connectivity axis.
+func ComboMicro() *space.Space {
+	s := space.NewComboSmall()
+	return freeRestrict(s, "combo-micro", map[int][]int{
+		0:                  nil,
+		connectDecision(s): nil,
+	})
+}
+
+// ComboNano is the crash-torture and differential-pin sub-space: 3 node
+// options (Identity, Dense(100, relu), Dense(500, relu)) × 3 Connect
+// options (Null, Cell expression, Drug 1 & 2) = 9 architectures. The
+// torture harness retrains suffixes of it at every enumerated crash point,
+// so it must stay tiny.
+func ComboNano() *space.Space {
+	s := space.NewComboSmall()
+	return freeRestrict(s, "combo-nano", map[int][]int{
+		0:                  {0, 1, 5},
+		connectDecision(s): {0, 1, 8},
+	})
+}

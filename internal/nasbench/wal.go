@@ -1,0 +1,202 @@
+// Segmented, checksummed write-ahead log: the durability substrate of the
+// table builder and the tournament runner.
+//
+// A build session appends one framed record per finished unit of work
+// (an architecture trained, a search completed) to a fresh segment file,
+// fsyncing after every frame; the frame layout is exactly the internal/ckpt
+// container layout — magic, version, payload length, SHA-256, payload — so
+// every torn-write and bit-flip failure mode the container reader rejects
+// is rejected here too. All I/O goes through the internal/fsim seam.
+//
+// Durability protocol:
+//
+//   - The fsim.FS seam has no append-reopen (deliberately: appending to a
+//     possibly-torn tail is how real WALs corrupt themselves), so every
+//     session writes a NEW segment, numbered after the highest existing
+//     one. Crash-abandoned empty segments are harmless and skipped.
+//   - A segment's directory entry is made durable (SyncDir) before its
+//     first record: a record whose fsync returned is durable, full stop.
+//   - Recovery scans segments in numeric order and accepts the longest
+//     valid frame prefix. An invalid frame ends its segment — the torn
+//     tail a power cut legitimately leaves — and scanning continues with
+//     the next segment, because a crashed session's successor may already
+//     have written one. Record-index contiguity (enforced by the callers'
+//     decoders) then catches every mid-sequence loss as ErrCorrupt.
+package nasbench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nasgo/internal/ckpt"
+	"nasgo/internal/fsim"
+)
+
+const (
+	recMagic   = "nasgorec"
+	walVersion = 1
+
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+)
+
+const frameHeaderLen = 8 + 4 + 8 + sha256.Size
+
+// corruptErr builds a structural-damage error wrapping ckpt.ErrCorrupt, so
+// callers classify WAL damage exactly like container damage.
+func corruptErr(format string, args ...any) error {
+	return fmt.Errorf("nasbench: %s: %w", fmt.Sprintf(format, args...), ckpt.ErrCorrupt)
+}
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	dst = append(dst, recMagic...)
+	dst = binary.BigEndian.AppendUint32(dst, walVersion)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(len(payload)))
+	dst = append(dst, sum[:]...)
+	return append(dst, payload...)
+}
+
+// parseFrame reads one frame at the head of raw. ok=false means the bytes
+// do not form a complete valid frame — a torn tail as far as the scanner is
+// concerned; the caller decides whether that position tolerates one.
+func parseFrame(raw []byte) (payload, rest []byte, ok bool) {
+	if len(raw) < frameHeaderLen || string(raw[:8]) != recMagic {
+		return nil, nil, false
+	}
+	if binary.BigEndian.Uint32(raw[8:12]) != walVersion {
+		return nil, nil, false
+	}
+	plen := binary.BigEndian.Uint64(raw[12:20])
+	if uint64(len(raw)-frameHeaderLen) < plen {
+		return nil, nil, false
+	}
+	payload = raw[frameHeaderLen : frameHeaderLen+int(plen)]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], raw[20:20+sha256.Size]) {
+		return nil, nil, false
+	}
+	return payload, raw[frameHeaderLen+int(plen):], true
+}
+
+func segName(n int) string { return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix) }
+
+// segNumber parses a segment filename; ok=false for foreign files.
+func segNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// scanSegments returns the frame payloads of the longest durable prefix
+// across all segments under dir, and the highest segment number seen (0 when
+// none). I/O errors pass through unwrapped, so ckpt.IsTransient still
+// classifies them; a missing dir scans as empty.
+func scanSegments(fsys fsim.FS, dir string) (payloads [][]byte, maxSeg int, err error) {
+	entries, err := fsys.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("nasbench: scan wal %s: %w", dir, err)
+	}
+	var segs []int
+	for _, e := range entries {
+		if n, ok := segNumber(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	for _, n := range segs {
+		maxSeg = n
+		raw, err := fsys.ReadFile(filepath.Join(dir, segName(n)))
+		if err != nil {
+			return nil, 0, fmt.Errorf("nasbench: read wal segment %s: %w", segName(n), err)
+		}
+		for len(raw) > 0 {
+			payload, rest, ok := parseFrame(raw)
+			if !ok {
+				// Torn tail: drop the rest of THIS segment only. If frames
+				// were lost mid-sequence the callers' index-contiguity check
+				// turns the gap into ErrCorrupt.
+				break
+			}
+			payloads = append(payloads, append([]byte(nil), payload...))
+			raw = rest
+		}
+	}
+	return payloads, maxSeg, nil
+}
+
+// walWriter appends framed records to one open segment, fsyncing per record.
+type walWriter struct {
+	f   fsim.File
+	buf []byte
+}
+
+// newSegment creates segment number n under dir and makes its directory
+// entry durable before any record is written, so "fsync returned" implies
+// "record survives a power cut".
+func newSegment(fsys fsim.FS, dir string, n int) (*walWriter, error) {
+	f, err := fsys.Create(filepath.Join(dir, segName(n)))
+	if err != nil {
+		return nil, fmt.Errorf("nasbench: create wal segment: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("nasbench: sync wal dir %s: %w", dir, err)
+	}
+	return &walWriter{f: f}, nil
+}
+
+// append writes one framed payload and fsyncs. When it returns nil the
+// record is durable.
+func (w *walWriter) append(payload []byte) error {
+	w.buf = appendFrame(w.buf[:0], payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("nasbench: append wal record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("nasbench: sync wal record: %w", err)
+	}
+	return nil
+}
+
+func (w *walWriter) close() error { return w.f.Close() }
+
+// removeSegments deletes every segment under dir and syncs the directory
+// once — the janitor step after a finalized artifact makes the WAL
+// redundant. Missing files (a crash mid-janitor) are not an error.
+func removeSegments(fsys fsim.FS, dir string) error {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, e := range entries {
+		if _, ok := segNumber(e.Name()); ok && !e.IsDir() {
+			if err := fsys.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return fsys.SyncDir(dir)
+	}
+	return nil
+}

@@ -147,13 +147,19 @@ func RunAllocation(bench *candle.Benchmark, sp *space.Space, cfg Config) (*Log, 
 // walltime cut appends a CatCkpt cut mark, the only trace difference
 // against an uninterrupted run.
 func RunAllocationTraced(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, *Checkpoint, error) {
+	return runAllocation(bench, sp, cfg, rec, nil)
+}
+
+// runAllocation is RunAllocationTraced plus an optional tabular reward
+// source (RunReplay's walltime-chained path).
+func runAllocation(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder, src evaluator.RewardSource) (*Log, *Checkpoint, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if cfg.Walltime <= 0 {
 		return nil, nil, fmt.Errorf("search: RunAllocation needs Walltime > 0 virtual seconds, got %g", cfg.Walltime)
 	}
-	r := newRunner(bench, sp, cfg, rec)
+	r := newRunner(bench, sp, cfg, rec, src)
 	r.boundary = r.cfg.Walltime
 	r.start()
 	return r.finishAllocation()
@@ -172,6 +178,13 @@ func ResumeAllocation(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint) 
 // the CatCkpt cut/resume marks, the combined event stream is byte-
 // identical to an uninterrupted run's (the golden-trace test pins this).
 func ResumeAllocationTraced(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint, rec *trace.Recorder) (*Log, *Checkpoint, error) {
+	return resumeAllocation(bench, sp, ck, rec, nil)
+}
+
+// resumeAllocation is ResumeAllocationTraced plus an optional tabular
+// reward source, re-attached to the restored evaluator exactly as the
+// trace recorder is re-attached to the restored machine.
+func resumeAllocation(bench *candle.Benchmark, sp *space.Space, ck *Checkpoint, rec *trace.Recorder, src evaluator.RewardSource) (*Log, *Checkpoint, error) {
 	if bench.Name != ck.Bench {
 		return nil, nil, fmt.Errorf("search: checkpoint is for benchmark %q, resume got %q", ck.Bench, bench.Name)
 	}
@@ -191,8 +204,12 @@ func ResumeAllocationTraced(bench *candle.Benchmark, sp *space.Space, ck *Checkp
 	evalCfg := cfg.Eval
 	evalCfg.Seed = cfg.Seed ^ 0x5eed
 	ev := evaluator.Restore(sim, service, bench, sp, evalCfg, ck.Eval)
+	if src != nil {
+		ev.SetRewardSource(src)
+	}
 
 	r := &runner{
+		rewards:       src,
 		cfg:           cfg,
 		bench:         bench,
 		sim:           sim,

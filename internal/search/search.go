@@ -247,6 +247,12 @@ type runner struct {
 	// allocations counts completed walltime allocations before this one.
 	boundary    float64
 	allocations int
+
+	// rewards, when non-nil, is the tabular replay backend attached to the
+	// evaluator (RunReplay). Like the trace recorder it is deliberately not
+	// part of Config: Config is gob-encoded into checkpoints, and a reward
+	// table is a live in-process object the resuming caller re-attaches.
+	rewards evaluator.RewardSource
 }
 
 // Agent phases: where an agent's state machine sits between simulator
@@ -317,7 +323,7 @@ type agent struct {
 // (benchmark, space, config): with Walltime set, the run chains
 // checkpointed allocations and still produces the identical log.
 func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
-	log, err := run(bench, sp, cfg, nil)
+	log, err := run(bench, sp, cfg, nil, nil)
 	if err != nil {
 		panic(err)
 	}
@@ -331,22 +337,41 @@ func Run(bench *candle.Benchmark, sp *space.Space, cfg Config) *Log {
 // simulation. The recorder is deliberately not part of Config: Config is
 // gob-encoded into checkpoints, and a recorder is a live in-process object.
 func RunTraced(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, error) {
-	return run(bench, sp, cfg, rec)
+	return run(bench, sp, cfg, rec, nil)
 }
 
-func run(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) (*Log, error) {
+// RunReplay runs a search whose reward estimations are served from a
+// precomputed table (a nasbench artifact) instead of real training — the
+// instant-replay backend for strategy tournaments. The search machinery is
+// untouched: virtual tasks, caches, and every RNG stream behave exactly as
+// live, so a replayed run's Log is byte-identical to a live run of the
+// same config (cfg.Eval.BenchSeed must match the table's build seed, and
+// sp must be the tabulated sub-space). src must not be nil.
+func RunReplay(bench *candle.Benchmark, sp *space.Space, cfg Config, src evaluator.RewardSource) (*Log, error) {
+	return RunReplayTraced(bench, sp, cfg, nil, src)
+}
+
+// RunReplayTraced is RunReplay with a trace recorder attached.
+func RunReplayTraced(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder, src evaluator.RewardSource) (*Log, error) {
+	if src == nil {
+		return nil, fmt.Errorf("search: RunReplay needs a reward source (use Run for live training)")
+	}
+	return run(bench, sp, cfg, rec, src)
+}
+
+func run(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder, src evaluator.RewardSource) (*Log, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Walltime > 0 {
 		// Chain walltime-bounded allocations through in-memory checkpoints.
-		log, ck, err := RunAllocationTraced(bench, sp, cfg, rec)
+		log, ck, err := runAllocation(bench, sp, cfg, rec, src)
 		for err == nil && ck != nil {
-			log, ck, err = ResumeAllocationTraced(bench, sp, ck, rec)
+			log, ck, err = resumeAllocation(bench, sp, ck, rec, src)
 		}
 		return log, err
 	}
-	r := newRunner(bench, sp, cfg, rec)
+	r := newRunner(bench, sp, cfg, rec, src)
 	r.start()
 	r.sim.RunAll()
 	return r.buildLog(), nil
@@ -355,7 +380,7 @@ func run(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Record
 // newRunner builds a fresh runner: simulator at time zero, service,
 // evaluator, parameter server, and agents. The RNG draw sequence here is
 // the reference a resumed runner replays before overwriting state.
-func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder) *runner {
+func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.Recorder, src evaluator.RewardSource) *runner {
 	cfg = cfg.withDefaults()
 	sim := hpc.NewSim()
 	sim.SetRecorder(rec)
@@ -370,8 +395,12 @@ func newRunner(bench *candle.Benchmark, sp *space.Space, cfg Config, rec *trace.
 	evalCfg := cfg.Eval
 	evalCfg.Seed = cfg.Seed ^ 0x5eed
 	ev := evaluator.New(sim, service, bench, sp, evalCfg)
+	if src != nil {
+		ev.SetRewardSource(src)
+	}
 
 	r := &runner{
+		rewards:      src,
 		cfg:          cfg,
 		bench:        bench,
 		sim:          sim,

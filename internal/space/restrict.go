@@ -1,0 +1,90 @@
+package space
+
+import "fmt"
+
+// Restrict narrows a space to a bounded sub-space by trimming each
+// decision's option set, the mechanism behind the tabular NAS benchmark
+// (internal/nasbench): pin most decisions to a single option, keep a few
+// free, and the space becomes small enough to enumerate and train
+// exhaustively. The sub-space is a first-class Space — Size, Hash,
+// Compile, and the search strategies all work on it unchanged, so the
+// exact counting the catalog tests pin applies to sub-spaces too.
+//
+// keep[i] lists the retained option indices of decision i, in strictly
+// increasing order; a nil entry keeps every option. Restrict mutates s in
+// place (sharing node pointers keeps MirrorNode targets intact), so s must
+// be a freshly constructed space the caller owns — catalog constructors
+// return a fresh value on every call, which is exactly that. The returned
+// space is s itself, renamed and re-validated.
+//
+// Choice indices of the sub-space are positions within the trimmed option
+// lists, so architecture keys (Hash) are relative to the sub-space's own
+// name and encoding — a sub-space key never collides with a parent key.
+func Restrict(s *Space, name string, keep [][]int) (*Space, error) {
+	if name == "" || name == s.Name {
+		return nil, fmt.Errorf("space: restriction of %s needs a distinct name", s.Name)
+	}
+	if len(keep) != len(s.decisions) {
+		return nil, fmt.Errorf("space %s: %d keep sets, want one per decision (%d)", s.Name, len(keep), len(s.decisions))
+	}
+	for i, sel := range keep {
+		if sel == nil {
+			continue
+		}
+		d := s.decisions[i]
+		if len(sel) == 0 {
+			return nil, fmt.Errorf("space %s: decision %d (%s) keeps no options", s.Name, i, d.Name)
+		}
+		ops := make([]Op, 0, len(sel))
+		prev := -1
+		for _, oi := range sel {
+			if oi <= prev {
+				return nil, fmt.Errorf("space %s: decision %d (%s) keep set not strictly increasing at %d", s.Name, i, d.Name, oi)
+			}
+			if oi < 0 || oi >= len(d.Ops) {
+				return nil, fmt.Errorf("space %s: decision %d (%s) keeps option %d of %d", s.Name, i, d.Name, oi, len(d.Ops))
+			}
+			ops = append(ops, d.Ops[oi])
+			prev = oi
+		}
+		d.Ops = ops
+	}
+	s.Name = name
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Pin builds the keep set that fixes decision i to its option oi — sugar
+// for the common Restrict pattern of pinning all but a few decisions.
+func Pin(oi int) []int { return []int{oi} }
+
+// EnumerateSize returns the sub-space cardinality as an exact integer, or
+// an error when it exceeds max (enumeration would be intractable). It is
+// the integer twin of Size, which returns a float for the astronomically
+// large paper spaces.
+func (s *Space) EnumerateSize(max int) (int, error) {
+	n := 1
+	for _, d := range s.decisions {
+		n *= len(d.Ops)
+		if n <= 0 || n > max {
+			return 0, fmt.Errorf("space %s: size exceeds enumeration cap %d", s.Name, max)
+		}
+	}
+	return n, nil
+}
+
+// ChoicesAt decodes enumeration index idx into an architecture encoding,
+// mixed-radix with the LAST decision as the least significant digit (so
+// enumeration order matches lexicographic order of the choice vectors).
+// The builder's WAL records architectures by this index.
+func (s *Space) ChoicesAt(idx int) []int {
+	choices := make([]int, len(s.decisions))
+	for i := len(s.decisions) - 1; i >= 0; i-- {
+		n := len(s.decisions[i].Ops)
+		choices[i] = idx % n
+		idx /= n
+	}
+	return choices
+}

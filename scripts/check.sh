@@ -35,6 +35,10 @@ go test -race -timeout 30m -run TestShort ./internal/search/
 # the supervisor over shared state; its suite (concurrent submits, panic
 # restarts, kill -9 re-exec children) runs whole under the race detector.
 go test -race -timeout 30m ./internal/campaign/
+# The tabular benchmark builds its table through the Workers>1 evaluator
+# pool and replays searches against it at Workers ∈ {1,8}; the whole suite
+# is fast-tier by design (~3 min under race on this box).
+go test -race -timeout 30m ./internal/nasbench/
 
 # Coverage gate on the persistence- and concurrency-critical packages: the
 # trace codec, the checkpoint container, the fault-injection filesystem
@@ -48,16 +52,18 @@ go test -race -timeout 30m ./internal/campaign/
 # campaign server promises. hpc and balsam join the gate with the
 # calendar-queue engine: the event queue and the job state machine decide
 # every golden trace in the repo, so their differential/fuzz/alloc suites
-# must keep covering them.
+# must keep covering them. nasbench joins with the tabular-benchmark
+# artifact: its WAL/table codec and replay backend decide whether thousands
+# of tournament searches are served the right rewards.
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 go test -coverprofile="$profile" ./internal/trace/ ./internal/ckpt/ ./internal/fsim/ \
     ./internal/evaluator/ ./internal/tensor/ ./internal/nn/ ./internal/campaign/ \
-    ./internal/hpc/ ./internal/balsam/ >/dev/null
+    ./internal/hpc/ ./internal/balsam/ ./internal/nasbench/ >/dev/null
 total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 if ! awk -v t="$total" 'BEGIN { exit (t >= 85) ? 0 : 1 }'; then
-    echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam coverage ${total}% is below the 85% gate" >&2
+    echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam+nasbench coverage ${total}% is below the 85% gate" >&2
     exit 1
 fi
-echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam coverage ${total}%"
+echo "check.sh: trace+ckpt+fsim+evaluator+tensor+nn+campaign+hpc+balsam+nasbench coverage ${total}%"
 echo "check.sh: OK"
